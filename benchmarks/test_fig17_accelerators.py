@@ -1,0 +1,60 @@
+"""Figure 17 — throughput when adding Xeon Phi coprocessors (§7.1.4:
+"each Xeon Phi card adds an additional 50% throughput").
+
+The host rate is calibrated from the real compiled AlexNet; the §6.1
+scheduler (double buffering + chunk-size linear search) then runs against
+simulated Phi cards on a virtual clock (hardware substitution documented
+in DESIGN.md). Asserted shape: throughput grows monotonically, each card
+adding roughly half the host's rate.
+"""
+
+import pytest
+
+from harness import BENCH_GEOMETRY, Runners, report
+from repro.models import alexnet_config
+from repro.runtime import HeterogeneousScheduler, calibrate_host_rate, xeon_phi
+
+
+@pytest.fixture(scope="module")
+def throughputs():
+    scale, size, batch = BENCH_GEOMETRY["alexnet"]
+    cfg = alexnet_config().scaled(channel_scale=scale, input_size=size,
+                                  classes=100)
+    r = Runners(cfg, batch)
+    host_rate = calibrate_host_rate(
+        r.cnet, {"data": r.x, "label": r.y}, repeats=2
+    )
+    out = {}
+    for n_phi in (0, 1, 2):
+        devices = [xeon_phi(f"mic{i}") for i in range(n_phi)]
+        sched = HeterogeneousScheduler(host_rate, devices, batch_size=128)
+        out[n_phi] = (sched.throughput(iterations=20), sched.assignment)
+    lines = [f"calibrated host rate: {host_rate:.1f} images/s",
+             f"{'config':>16s} {'images/s':>10s} {'vs host':>8s} "
+             f"{'chunks':>20s}"]
+    base = out[0][0]
+    for n_phi, (tp, asg) in out.items():
+        name = "Xeon" if n_phi == 0 else f"Xeon + {n_phi} Phi"
+        lines.append(
+            f"{name:>16s} {tp:10.1f} {tp/base:7.2f}x "
+            f"host={asg.host_images} dev={asg.device_images}"
+        )
+    report("fig17_accelerators", lines)
+    return {k: v[0] for k, v in out.items()}
+
+
+def test_fig17_throughput(benchmark, throughputs):
+    scale, size, batch = BENCH_GEOMETRY["alexnet"]
+    cfg = alexnet_config().scaled(channel_scale=scale, input_size=size,
+                                  classes=100)
+    r = Runners(cfg, batch)
+    benchmark.pedantic(r.latte_fwd_bwd, rounds=2, iterations=1,
+                       warmup_rounds=1)
+    assert throughputs[2] > throughputs[1] > throughputs[0]
+
+
+def test_fig17_each_card_adds_about_half(throughputs):
+    r1 = throughputs[1] / throughputs[0]
+    r2 = throughputs[2] / throughputs[0]
+    assert 1.3 < r1 < 1.7, f"first card added {r1 - 1:.0%}"
+    assert 1.7 < r2 < 2.3, f"two cards reached {r2:.2f}x"

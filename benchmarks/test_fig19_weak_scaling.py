@@ -1,0 +1,75 @@
+"""Figure 19 — weak scaling on the commodity cluster with a fixed batch
+of 64 per node, AlexNet training (§7.2.2: near-linear scaling,
+communication cost constant in node count; 84% strong-scaling efficiency
+at 32 nodes is quoted in the contributions).
+
+The simulator replays the per-ensemble asynchronous gradient summation
+schedule over an InfiniBand-like model. Asserted shape: throughput is
+near-linear in node count (≥ 80% efficiency at 32 nodes), consistent
+with Deep Image's reported behavior [46].
+"""
+
+import pytest
+
+from harness import BENCH_GEOMETRY, Runners, report
+from repro.models import alexnet_config
+from repro.runtime import (
+    ComputeProfile,
+    infiniband_fdr,
+    scaling_efficiency,
+    weak_scaling,
+)
+
+NODES = [1, 2, 4, 8, 16, 32, 64, 128]
+BATCH_PER_NODE = 64
+
+
+def _profile():
+    scale, size, _ = BENCH_GEOMETRY["alexnet"]
+    cfg = alexnet_config().scaled(channel_scale=scale, input_size=size,
+                                  classes=100)
+    r = Runners(cfg, 8)
+    return ComputeProfile.measure(r.cnet, {"data": r.x, "label": r.y},
+                                  repeats=2)
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    prof = _profile()
+    tps = weak_scaling(prof, infiniband_fdr(), BATCH_PER_NODE, NODES)
+    eff = scaling_efficiency(tps)
+    lines = [f"{'nodes':>6s} {'images/s':>12s} {'efficiency':>10s}"]
+    for n in NODES:
+        lines.append(f"{n:6d} {tps[n]:12.1f} {eff[n]:9.1%}")
+    lines.append(f"paper: 84% strong-scaling efficiency at 32 nodes; "
+                 f"near-linear weak scaling")
+    report("fig19_weak_scaling", lines)
+    return tps, eff
+
+
+def test_fig19_simulation(benchmark, scaling):
+    prof = _profile()
+    benchmark(lambda: weak_scaling(prof, infiniband_fdr(), BATCH_PER_NODE,
+                                   NODES))
+
+
+def test_fig19_near_linear(scaling):
+    tps, eff = scaling
+    assert eff[32] > 0.8, f"32-node efficiency {eff[32]:.1%}"
+    assert eff[128] > 0.7
+
+
+def test_fig19_communication_cost_constant(scaling):
+    """§7.2.2: 'as the number of workers/nodes increase, the cost of
+    communication required remains constant' — per-node iteration time
+    grows only marginally from 2 to 128 nodes."""
+    prof = _profile()
+    from repro.runtime import ClusterSimulator
+
+    t2 = ClusterSimulator(prof, infiniband_fdr(), 2).iteration_time(
+        BATCH_PER_NODE
+    )
+    t128 = ClusterSimulator(prof, infiniband_fdr(), 128).iteration_time(
+        BATCH_PER_NODE
+    )
+    assert t128 < t2 * 1.5

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Distributed data-parallel training, two ways (§6, §7.2-7.3)::
+
+    python examples/distributed_training.py
+
+1. The cluster simulator: profile the real compiled network, then replay
+   the compiler's per-ensemble asynchronous gradient-reduction schedule
+   over interconnect models to produce strong/weak scaling curves.
+2. Real multi-threaded training with lossy vs synchronized gradients —
+   the Fig. 20 experiment at small scale.
+"""
+
+import numpy as np
+
+from repro import (
+    SGD,
+    DataAndLabelLayer,
+    FullyConnectedLayer,
+    LRPolicy,
+    MomPolicy,
+    Net,
+    ReLULayer,
+    SoftmaxLossLayer,
+    SolverParameters,
+)
+from repro.data import synthetic_mnist
+from repro.layers.metrics import top1_accuracy
+from repro.models import build_latte, vgg_config
+from repro.runtime import (
+    ComputeProfile,
+    MultiThreadTrainer,
+    cori_aries,
+    infiniband_fdr,
+    scaling_efficiency,
+    strong_scaling,
+    weak_scaling,
+)
+from repro.utils.rng import seed_all
+
+
+def cluster_simulation():
+    print("=== cluster simulation (VGG, scaled) ===")
+    seed_all(1)
+    cfg = vgg_config().scaled(channel_scale=0.125, input_size=32,
+                              classes=100)
+    cnet = build_latte(cfg, 8).init()
+    rng = np.random.default_rng(0)
+    inputs = {
+        "data": rng.standard_normal((8,) + cfg.input_shape).astype(np.float32),
+        "label": rng.integers(0, 100, (8, 1)).astype(np.float32),
+    }
+    prof = ComputeProfile.measure(cnet, inputs, repeats=2)
+    print(f"profiled {len(prof.comm_points)} async-reduction points")
+
+    tps = strong_scaling(prof, cori_aries(), 512, [1, 4, 16, 64])
+    eff = scaling_efficiency(tps)
+    print("strong scaling (global batch 512, Cori-like fabric):")
+    for n in sorted(tps):
+        print(f"  {n:3d} nodes: {tps[n]:9.1f} images/s  "
+              f"efficiency {eff[n]:.1%}")
+
+    tps = weak_scaling(prof, infiniband_fdr(), 64, [1, 8, 32, 128])
+    eff = scaling_efficiency(tps)
+    print("weak scaling (64 images/node, InfiniBand-like fabric):")
+    for n in sorted(tps):
+        print(f"  {n:3d} nodes: {tps[n]:9.1f} images/s  "
+              f"efficiency {eff[n]:.1%}")
+
+
+def _mlp():
+    seed_all(7)
+    net = Net(32)
+    data, label = DataAndLabelLayer(net, (784,))
+    ip1 = FullyConnectedLayer("ip1", net, data, 64)
+    r1 = ReLULayer("r1", net, ip1)
+    ip2 = FullyConnectedLayer("ip2", net, r1, 10)
+    SoftmaxLossLayer("loss", net, ip2, label)
+    return net.init()
+
+
+def lossy_gradients():
+    print("\n=== lossy vs synchronized gradients (4 worker threads) ===")
+    train, test = synthetic_mnist(1200, 320, noise=1.0, flat=True)
+    for lossy in (True, False):
+        trainer = MultiThreadTrainer(_mlp, 4, lossy=lossy)
+        try:
+            solver = SGD(SolverParameters(
+                lr_policy=LRPolicy.Fixed(0.02),
+                mom_policy=MomPolicy.Fixed(0.9),
+            ))
+            rng = np.random.default_rng(3)
+            for _ in range(4):
+                trainer.train_epoch(solver, train.data, train.labels,
+                                    rng=rng)
+            m = trainer.master
+            m.training = False
+            m.forward(data=test.data[:32], label=test.labels[:32])
+            acc = top1_accuracy(m.value("ip2"), test.labels[:32])
+            mode = "lossy      " if lossy else "synchronized"
+            print(f"  {mode}: test accuracy {acc:.2%}")
+        finally:
+            trainer.close()
+
+
+if __name__ == "__main__":
+    cluster_simulation()
+    lossy_gradients()

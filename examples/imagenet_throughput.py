@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Measure training throughput of the paper's evaluation models against
+both baselines (a scaled-down version of §7.1.2/§7.1.3)::
+
+    python examples/imagenet_throughput.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.baselines import CaffeNet, MochaNet
+from repro.models import alexnet_config, build_latte, overfeat_config, vgg_config
+from repro.optim import CompilerOptions
+from repro.utils.rng import seed_all
+
+GEOMETRY = {
+    "alexnet": (alexnet_config, 0.25, 67),
+    "overfeat": (overfeat_config, 0.125, 75),
+    "vgg": (vgg_config, 0.25, 64),
+}
+BATCH = 8
+
+
+def time_iteration(fwd_bwd, repeats=3):
+    fwd_bwd()
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fwd_bwd()
+        times.append(time.perf_counter() - t0)
+    return sorted(times)[len(times) // 2]
+
+
+def main():
+    print(f"{'model':10s} {'latte':>12s} {'caffe-like':>12s} "
+          f"{'mocha-like':>12s} {'vs caffe':>9s} {'vs mocha':>9s}")
+    for name, (factory, scale, size) in GEOMETRY.items():
+        cfg = factory().scaled(channel_scale=scale, input_size=size,
+                               classes=100)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((BATCH,) + cfg.input_shape).astype(np.float32)
+        y = rng.integers(0, 100, (BATCH, 1)).astype(np.float32)
+
+        seed_all(1)
+        cnet = build_latte(cfg, BATCH).init(CompilerOptions())
+        cnet.training = False
+
+        def latte_iter():
+            cnet.forward(data=x, label=y)
+            cnet.clear_param_grads()
+            cnet.backward()
+
+        results = {"latte": time_iteration(latte_iter)}
+        for key, cls in (("caffe", CaffeNet), ("mocha", MochaNet)):
+            seed_all(1)
+            base = cls(cfg, BATCH)
+            base.training = False
+
+            def base_iter(base=base):
+                base.forward(x, y)
+                base.clear_grads()
+                base.backward()
+
+            results[key] = time_iteration(base_iter)
+
+        tl, tc, tm = results["latte"], results["caffe"], results["mocha"]
+        print(f"{name:10s} {tl*1e3:10.1f}ms {tc*1e3:10.1f}ms "
+              f"{tm*1e3:10.1f}ms {tc/tl:8.2f}x {tm/tl:8.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Compiler analyses: mapping introspection, shared variables, frontend."""
+
+from repro.analysis.frontend import DslError, NeuronFunctionIR, parse_neuron_function
+from repro.analysis.mapping import (
+    MappingError,
+    MappingInfo,
+    WindowDim,
+    analyze_mapping,
+)
+from repro.analysis.shared_variables import (
+    ConnectionFacts,
+    EnsembleFacts,
+    analyze_ensemble,
+)
+
+__all__ = [
+    "ConnectionFacts",
+    "DslError",
+    "EnsembleFacts",
+    "MappingError",
+    "MappingInfo",
+    "NeuronFunctionIR",
+    "WindowDim",
+    "analyze_ensemble",
+    "analyze_mapping",
+    "parse_neuron_function",
+]

@@ -1,0 +1,342 @@
+"""Neuron-function frontend.
+
+Latte neuron ``forward``/``backward`` bodies are written against a single
+abstract neuron (array-of-structs view: ``self.weights[i]``,
+``self.inputs[0][i]``). This module parses their *source* with the host
+``ast`` module — the Python analogue of the paper capturing Julia ASTs —
+and lowers them to the loop IR with **abstract buffer references**:
+
+====================  =======================================
+user syntax           abstract IR reference
+====================  =======================================
+``self.value``        ``Index('$value', ())``
+``self.grad``         ``Index('$grad', ())``
+``self.inputs[j][i]`` ``Index('$inputs:j', (i,))``
+``self.grad_inputs[j][i]``  ``Index('$grad_inputs:j', (i,))``
+``self.field[i]``     ``Index('$field:field', (i,))``
+``len(self.inputs[j])``  ``Var('$len:j')``
+====================  =======================================
+
+Synthesis (:mod:`repro.synthesis.compute`) later rewrites these abstract
+references into concrete struct-of-arrays accesses with full neuron
+coordinates — completing the AoS→SoA transformation of §5.3 / Fig. 8 —
+and substitutes window sizes for the ``$len`` symbols.
+
+Only a restricted subset of Python is accepted; anything else raises
+:class:`DslError` with a pointer at the offending construct. Reductions
+written as ``x = max(x, e)`` are normalized to ``Assign(x, e,
+reduce='max')``.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import math
+import textwrap
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.ir import (
+    Assign,
+    BinOp,
+    Call,
+    Compare,
+    Const,
+    Expr,
+    For,
+    Index,
+    Stmt,
+    UnaryOp,
+    Var,
+)
+from repro.ir.nodes import INTRINSICS
+
+
+class DslError(SyntaxError):
+    """A neuron function uses a construct outside the Latte DSL subset."""
+
+
+@dataclass
+class NeuronFunctionIR:
+    """Parsed body of one neuron function plus bookkeeping facts."""
+
+    name: str  # 'forward' or 'backward'
+    body: List[Stmt]
+    #: connection indices referenced via self.inputs / self.grad_inputs
+    input_refs: frozenset
+    #: user field names referenced
+    field_refs: frozenset
+    #: loop variable names introduced
+    loop_vars: frozenset
+
+
+_BIN_OPS = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.Div: "/",
+    ast.FloorDiv: "//",
+    ast.Mod: "%",
+    ast.Pow: "**",
+}
+
+_CMP_OPS = {
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Gt: ">",
+    ast.GtE: ">=",
+}
+
+_AUG_OPS = {ast.Add: "add", ast.Mult: "mul"}
+
+_NAMED_CONSTS = {"inf": math.inf, "pi": math.pi, "e": math.e}
+
+
+class _Parser:
+    def __init__(self, self_name: str, neuron_type, fn_name: str):
+        self.self_name = self_name
+        self.neuron_type = neuron_type
+        self.fn_name = fn_name
+        self.input_refs = set()
+        self.field_refs = set()
+        self.loop_vars: list = []
+
+    # -- error helper ----------------------------------------------------
+
+    def err(self, node, msg) -> DslError:
+        line = getattr(node, "lineno", "?")
+        return DslError(
+            f"{self.neuron_type.__name__}.{self.fn_name} line {line}: {msg}"
+        )
+
+    # -- expressions -----------------------------------------------------
+
+    def expr(self, node) -> Expr:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(
+                node.value, (int, float)
+            ):
+                raise self.err(node, f"unsupported constant {node.value!r}")
+            return Const(node.value)
+        if isinstance(node, ast.Name):
+            if node.id in _NAMED_CONSTS:
+                return Const(_NAMED_CONSTS[node.id])
+            if node.id in self.loop_vars:
+                return Var(node.id)
+            raise self.err(node, f"unknown name {node.id!r}")
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.USub):
+                inner = self.expr(node.operand)
+                if isinstance(inner, Const):
+                    return Const(-inner.value)
+                return UnaryOp("-", inner)
+            raise self.err(node, "only unary minus is supported")
+        if isinstance(node, ast.BinOp):
+            op = _BIN_OPS.get(type(node.op))
+            if op is None:
+                raise self.err(node, f"unsupported operator {type(node.op).__name__}")
+            return BinOp(op, self.expr(node.left), self.expr(node.right))
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1:
+                raise self.err(node, "chained comparisons are not supported")
+            op = _CMP_OPS.get(type(node.ops[0]))
+            if op is None:
+                raise self.err(node, "unsupported comparison")
+            return Compare(op, self.expr(node.left), self.expr(node.comparators[0]))
+        if isinstance(node, ast.Call):
+            return self.call(node)
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            return self.reference(node)
+        raise self.err(node, f"unsupported expression {type(node).__name__}")
+
+    def call(self, node: ast.Call) -> Expr:
+        if not isinstance(node.func, ast.Name):
+            raise self.err(node, "only simple intrinsic calls are allowed")
+        fname = node.func.id
+        if fname == "len":
+            ref = self._inputs_ref(node.args[0]) if node.args else None
+            if ref is None:
+                raise self.err(node, "len() only applies to self.inputs[j]")
+            return Var(f"$len:{ref}")
+        if fname == "range":
+            raise self.err(node, "range() may only appear in a for statement")
+        if fname not in INTRINSICS:
+            raise self.err(
+                node, f"call to {fname!r}; allowed intrinsics: {sorted(INTRINSICS)}"
+            )
+        return Call(fname, tuple(self.expr(a) for a in node.args))
+
+    def _inputs_ref(self, node) -> Optional[int]:
+        """Match ``self.inputs[j]`` (or grad_inputs) returning j, else None."""
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Attribute)
+            and isinstance(node.value.value, ast.Name)
+            and node.value.value.id == self.self_name
+            and node.value.attr in ("inputs", "grad_inputs")
+        ):
+            j = node.slice
+            if isinstance(j, ast.Constant) and isinstance(j.value, int):
+                return j.value
+        return None
+
+    def reference(self, node) -> Expr:
+        """Lower a ``self.*`` reference to an abstract Index."""
+        # self.value / self.grad (no subscript)
+        if isinstance(node, ast.Attribute):
+            if not (
+                isinstance(node.value, ast.Name) and node.value.id == self.self_name
+            ):
+                raise self.err(node, "attribute access must be on self")
+            if node.attr in ("value", "grad"):
+                return Index(f"${node.attr}", ())
+            if node.attr in self.neuron_type.fields:
+                # unsubscripted access: a per-neuron scalar field
+                self.field_refs.add(node.attr)
+                return Index(f"$field:{node.attr}", ())
+            raise self.err(node, f"unknown neuron field {node.attr!r}")
+        # subscripted references
+        assert isinstance(node, ast.Subscript)
+        subs = self._subscripts(node.slice)
+        base = node.value
+        # self.inputs[j][i...] / self.grad_inputs[j][i...]
+        if isinstance(base, ast.Subscript):
+            j = self._inputs_ref(base)
+            if j is None:
+                raise self.err(node, "unsupported nested subscript")
+            attr = base.value.attr  # type: ignore[union-attr]
+            self.input_refs.add(j)
+            return Index(f"${attr}:{j}", tuple(subs))
+        if isinstance(base, ast.Attribute):
+            if not (
+                isinstance(base.value, ast.Name) and base.value.id == self.self_name
+            ):
+                raise self.err(node, "subscripted value must be a self.* field")
+            if base.attr in ("inputs", "grad_inputs"):
+                raise self.err(
+                    node,
+                    f"self.{base.attr} needs two subscripts: "
+                    f"self.{base.attr}[connection][element]",
+                )
+            if base.attr in ("value", "grad"):
+                raise self.err(node, f"self.{base.attr} is a scalar, not indexable")
+            if base.attr not in self.neuron_type.fields:
+                raise self.err(node, f"unknown neuron field {base.attr!r}")
+            self.field_refs.add(base.attr)
+            return Index(f"$field:{base.attr}", tuple(subs))
+        raise self.err(node, "unsupported subscript target")
+
+    def _subscripts(self, node) -> list:
+        if isinstance(node, ast.Tuple):
+            return [self.expr(e) for e in node.elts]
+        return [self.expr(node)]
+
+    # -- statements --------------------------------------------------------
+
+    def stmt(self, node) -> Stmt:
+        if isinstance(node, ast.For):
+            return self.for_stmt(node)
+        if isinstance(node, ast.AugAssign):
+            op = _AUG_OPS.get(type(node.op))
+            if op is None:
+                raise self.err(node, "only += and *= are supported")
+            target = self.expr(node.target)
+            if not isinstance(target, Index):
+                raise self.err(node, "assignment target must be a neuron field")
+            return Assign(target, self.expr(node.value), reduce=op)
+        if isinstance(node, ast.Assign):
+            if len(node.targets) != 1:
+                raise self.err(node, "multiple assignment targets not supported")
+            target = self.expr(node.targets[0])
+            if not isinstance(target, Index):
+                raise self.err(node, "assignment target must be a neuron field")
+            value = self.expr(node.value)
+            # normalize x = max(x, e) / max(e, x) into a max-reduction
+            if isinstance(value, Call) and value.func in ("max", "min"):
+                args = list(value.args)
+                if len(args) == 2 and target in args:
+                    args.remove(target)
+                    return Assign(target, args[0], reduce=value.func)
+            return Assign(target, value)
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Constant):
+            return None  # docstring
+        if isinstance(node, ast.Pass):
+            return None
+        raise self.err(node, f"unsupported statement {type(node).__name__}")
+
+    def for_stmt(self, node: ast.For) -> For:
+        if not isinstance(node.target, ast.Name):
+            raise self.err(node, "loop target must be a simple name")
+        if node.orelse:
+            raise self.err(node, "for/else is not supported")
+        it = node.iter
+        if not (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id == "range"
+        ):
+            raise self.err(node, "loops must iterate over range(...)")
+        args = [self.expr(a) for a in it.args]
+        if len(args) == 1:
+            start, stop = Const(0), args[0]
+        elif len(args) == 2:
+            start, stop = args
+        else:
+            raise self.err(node, "range() with a step is not supported")
+        var = node.target.id
+        self.loop_vars.append(var)
+        body = [s for s in (self.stmt(b) for b in node.body) if s is not None]
+        self.loop_vars.pop()
+        return For(var, start, stop, body)
+
+
+def parse_neuron_function(neuron_type, fn_name: str) -> NeuronFunctionIR:
+    """Parse a neuron type's ``forward`` or ``backward`` into IR.
+
+    The parsed IR is cached on the neuron type (keyed by the function
+    object so subclass overrides re-parse).
+    """
+    fn = getattr(neuron_type, fn_name)
+    cache = neuron_type.__dict__.get("_latte_ir_cache")
+    if cache is None:
+        cache = {}
+        setattr(neuron_type, "_latte_ir_cache", cache)
+    cached = cache.get(fn_name)
+    if cached is not None and cached[0] is fn:
+        return cached[1]
+
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError) as exc:
+        raise DslError(
+            f"cannot retrieve source of {neuron_type.__name__}.{fn_name}: {exc}"
+        ) from exc
+    tree = ast.parse(source)
+    fdef = tree.body[0]
+    if not isinstance(fdef, ast.FunctionDef):
+        raise DslError(f"{neuron_type.__name__}.{fn_name} is not a plain function")
+    if not fdef.args.args:
+        raise DslError(f"{neuron_type.__name__}.{fn_name} must take self")
+    parser = _Parser(fdef.args.args[0].arg, neuron_type, fn_name)
+    body = [s for s in (parser.stmt(b) for b in fdef.body) if s is not None]
+    result = NeuronFunctionIR(
+        name=fn_name,
+        body=body,
+        input_refs=frozenset(parser.input_refs),
+        field_refs=frozenset(parser.field_refs),
+        loop_vars=frozenset(
+            v for s in body for v in _collect_loop_vars(s)
+        ),
+    )
+    cache[fn_name] = (fn, result)
+    return result
+
+
+def _collect_loop_vars(stmt: Stmt):
+    if isinstance(stmt, For):
+        yield stmt.var
+        for s in stmt.body:
+            yield from _collect_loop_vars(s)

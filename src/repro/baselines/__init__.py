@@ -1,0 +1,6 @@
+"""The paper's evaluation baselines, reimplemented (§7)."""
+
+from repro.baselines.caffe_like import CaffeNet
+from repro.baselines.mocha_like import MochaNet
+
+__all__ = ["CaffeNet", "MochaNet"]

@@ -1,0 +1,5 @@
+"""Code generation backends (executable NumPy, inspectable C++)."""
+
+from repro.codegen.python_backend import CompiledProgram, Step, compile_items
+
+__all__ = ["CompiledProgram", "Step", "compile_items"]

@@ -1,0 +1,45 @@
+"""C++/OpenMP rendering of the optimized program.
+
+The paper presents synthesized code as C++ with OpenMP pragmas and
+simplified ``gemm`` calls (Figures 9, 10, 12). This backend renders the
+*same* post-optimization schedule in that form — for inspection, golden
+tests, and documentation. It is not executed; the executable backend is
+:mod:`repro.codegen.python_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir import CommCall, For
+from repro.ir.printer import to_c
+from repro.synthesis.units import FusedGroup, unit_to_for_tree
+
+
+def render_items(items, title: str = "") -> str:
+    """Render a schedule (list of FusedGroup/CommCall) as C-like source."""
+    out: List[str] = []
+    if title:
+        out.append(f"// === {title} ===")
+    for item in items:
+        if isinstance(item, CommCall):
+            out.append(to_c(item))
+            continue
+        assert isinstance(item, FusedGroup)
+        out.append(f"// {item.label}")
+        trees = [unit_to_for_tree(u) for u in item.units]
+        if item.tile_loop is not None:
+            sp = item.tile_loop
+            tree = For(
+                sp.var,
+                sp.start,
+                sp.stop,
+                trees,
+                parallel=sp.parallel,
+                collapse=sp.collapse,
+                schedule=sp.schedule,
+            )
+            out.append(to_c(tree))
+        else:
+            out.extend(to_c(t) for t in trees)
+    return "\n".join(out) + "\n"

@@ -1,0 +1,143 @@
+"""Shared expression rendering and affine-form extraction for codegen."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.ir import (
+    BinOp,
+    Call,
+    Compare,
+    Const,
+    Expr,
+    Index,
+    NewAxis,
+    SliceExpr,
+    UnaryOp,
+    Var,
+    add,
+    free_vars,
+    mul,
+)
+
+
+class NonAffine(ValueError):
+    """An index expression is not affine in the requested variable."""
+
+
+def extract_affine(e: Expr, var: str) -> Tuple[int, Expr]:
+    """Decompose ``e`` as ``coeff * var + rest`` with integer ``coeff``.
+
+    ``rest`` may reference other variables. Raises :class:`NonAffine` when
+    the decomposition does not exist (the variable under a nonlinear
+    operator or multiplied by a non-constant).
+    """
+    if isinstance(e, Var):
+        return (1, Const(0)) if e.name == var else (0, e)
+    if isinstance(e, Const):
+        return 0, e
+    if isinstance(e, BinOp):
+        if e.op == "+":
+            cl, rl = extract_affine(e.left, var)
+            cr, rr = extract_affine(e.right, var)
+            return cl + cr, add(rl, rr)
+        if e.op == "-":
+            cl, rl = extract_affine(e.left, var)
+            cr, rr = extract_affine(e.right, var)
+            if isinstance(rr, Const) and rr.value == 0:
+                return cl - cr, rl
+            if isinstance(rr, Const) and isinstance(rl, Const):
+                return cl - cr, Const(rl.value - rr.value)
+            return cl - cr, BinOp("-", rl, rr)
+        if e.op == "*":
+            lv, rv = var in free_vars(e.left), var in free_vars(e.right)
+            if lv and rv:
+                raise NonAffine(f"{var} appears quadratically")
+            if not lv and not rv:
+                return 0, e
+            scale, part = (e.right, e.left) if lv else (e.left, e.right)
+            if not isinstance(scale, Const):
+                raise NonAffine(f"{var} scaled by non-constant")
+            c, r = extract_affine(part, var)
+            return c * int(scale.value), mul(scale, r)
+    if isinstance(e, UnaryOp) and e.op == "-":
+        c, r = extract_affine(e.operand, var)
+        return -c, UnaryOp("-", r)
+    if var in free_vars(e):
+        raise NonAffine(f"{var} under unsupported operator")
+    return 0, e
+
+
+_VEC_FUNCS = {
+    "max": "_np.maximum",
+    "min": "_np.minimum",
+    "exp": "_np.exp",
+    "log": "_np.log",
+    "sqrt": "_np.sqrt",
+    "tanh": "_np.tanh",
+    "abs": "_np.abs",
+    "where": "_np.where",
+    "sigmoid": "_sigmoid",
+}
+
+_SCALAR_FUNCS = {
+    "max": "max",
+    "min": "min",
+    "exp": "_math.exp",
+    "log": "_math.log",
+    "sqrt": "_math.sqrt",
+    "tanh": "_math.tanh",
+    "abs": "abs",
+    "where": "_where",
+    "sigmoid": "_scalar_sigmoid",
+}
+
+
+def render(e: Expr, index_renderer, vector: bool) -> str:
+    """Render an expression to Python source.
+
+    ``index_renderer(Index) -> str`` decides how buffer accesses print
+    (scalar subscripts vs slice tuples).
+    """
+
+    def r(x: Expr) -> str:
+        if isinstance(x, SliceExpr):
+            step = ""
+            if not (isinstance(x.step, Const) and x.step.value == 1):
+                step = f":{r(x.step)}"
+            return f"{r(x.start)}:{r(x.stop)}{step}"
+        if isinstance(x, NewAxis):
+            return "None"
+        if isinstance(x, Const):
+            v = x.value
+            if v == float("inf"):
+                return "_inf"
+            if v == float("-inf"):
+                return "(-_inf)"
+            return repr(v)
+        if isinstance(x, Var):
+            return x.name
+        if isinstance(x, Index):
+            return index_renderer(x)
+        if isinstance(x, BinOp):
+            return f"({r(x.left)} {x.op} {r(x.right)})"
+        if isinstance(x, UnaryOp):
+            return f"({x.op}{r(x.operand)})"
+        if isinstance(x, Compare):
+            return f"({r(x.left)} {x.op} {r(x.right)})"
+        if isinstance(x, Call):
+            table = _VEC_FUNCS if vector else _SCALAR_FUNCS
+            if x.func not in table:
+                raise ValueError(f"unknown intrinsic {x.func!r}")
+            return f"{table[x.func]}({', '.join(r(a) for a in x.args)})"
+        raise TypeError(f"cannot render {type(x).__name__}")
+
+    return r(e)
+
+
+def render_plain_index(ix: Index) -> str:
+    """Scalar buffer access ``buf[i, j]``."""
+    parts = ", ".join(
+        render(i, render_plain_index, vector=False) for i in ix.indices
+    )
+    return f"{ix.buffer}[{parts}]" if ix.indices else ix.buffer

@@ -1,0 +1,47 @@
+"""The Latte DSL core: neurons, ensembles, connections, networks (§3)."""
+
+from repro.core.connection import (
+    Connection,
+    all_to_all,
+    one_to_one,
+    spatial_window_2d,
+    window_2d,
+)
+from repro.core.ensemble import (
+    VEC,
+    AbstractEnsemble,
+    ActivationEnsemble,
+    DataEnsemble,
+    Dim,
+    Ensemble,
+    FieldBinding,
+    LossEnsemble,
+    NormalizationEnsemble,
+    Param,
+)
+from repro.core.network import Net, add_connections, init
+from repro.core.neuron import DEFAULT_FIELDS, Field, Neuron
+
+__all__ = [
+    "DEFAULT_FIELDS",
+    "VEC",
+    "AbstractEnsemble",
+    "ActivationEnsemble",
+    "Connection",
+    "DataEnsemble",
+    "Dim",
+    "Ensemble",
+    "Field",
+    "FieldBinding",
+    "LossEnsemble",
+    "Net",
+    "Neuron",
+    "NormalizationEnsemble",
+    "Param",
+    "add_connections",
+    "all_to_all",
+    "init",
+    "one_to_one",
+    "spatial_window_2d",
+    "window_2d",
+]

@@ -1,0 +1,9 @@
+"""Synthetic dataset generators (ImageNet/MNIST stand-ins)."""
+
+from repro.data.synthetic import (
+    synthetic_imagenet,
+    synthetic_images,
+    synthetic_mnist,
+)
+
+__all__ = ["synthetic_imagenet", "synthetic_images", "synthetic_mnist"]

@@ -1,0 +1,87 @@
+"""Synthetic datasets standing in for ImageNet and MNIST.
+
+The paper's throughput experiments (§7.1-7.2) use resized ImageNet
+images but never consult labels or accuracy — only tensor geometry
+matters, so random batches suffice. The accuracy experiment (Fig. 20)
+needs a *learnable* classification problem; :func:`synthetic_mnist`
+generates one with the same geometry as MNIST (28x28 grayscale, 10
+classes): fixed random class templates, random per-sample shifts, and
+additive noise. An MLP reaches high-90s accuracy on it, giving the lossy
+vs. sequential gradient comparison a meaningful operating point.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.solvers.solve import Dataset
+from repro.utils.rng import get_rng
+
+DTYPE = np.float32
+
+
+def synthetic_images(batch_size: int, shape, seed: int = 0) -> np.ndarray:
+    """One random image batch of ``(batch_size, *shape)``."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((batch_size,) + tuple(shape)).astype(DTYPE)
+
+
+def synthetic_imagenet(
+    n: int, shape=(3, 224, 224), classes: int = 1000, seed: int = 0
+) -> Dataset:
+    """A random labeled dataset with ImageNet-like geometry."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n,) + tuple(shape)).astype(DTYPE)
+    labels = rng.integers(0, classes, (n, 1)).astype(DTYPE)
+    return Dataset(data, labels)
+
+
+def synthetic_mnist(
+    n_train: int = 2000,
+    n_test: int = 500,
+    noise: float = 0.35,
+    max_shift: int = 2,
+    seed: int = 123,
+    flat: bool = False,
+) -> Tuple[Dataset, Dataset]:
+    """A learnable MNIST-shaped problem: 10 smooth class templates with
+    random shifts and Gaussian noise.
+
+    Returns ``(train, test)``. ``flat=True`` yields 784-vectors for MLPs;
+    otherwise images are ``(1, 28, 28)``.
+    """
+    rng = np.random.default_rng(seed)
+    # smooth templates: low-frequency random fields per class
+    base = rng.standard_normal((10, 8, 8))
+    templates = np.zeros((10, 28, 28))
+    for c in range(10):
+        # bilinear upsample of the low-frequency field
+        coarse = base[c]
+        y = np.linspace(0, 7, 28)
+        x = np.linspace(0, 7, 28)
+        yi, xi = np.floor(y).astype(int), np.floor(x).astype(int)
+        yi1, xi1 = np.minimum(yi + 1, 7), np.minimum(xi + 1, 7)
+        wy, wx = (y - yi)[:, None], (x - xi)[None, :]
+        templates[c] = (
+            coarse[np.ix_(yi, xi)] * (1 - wy) * (1 - wx)
+            + coarse[np.ix_(yi1, xi)] * wy * (1 - wx)
+            + coarse[np.ix_(yi, xi1)] * (1 - wy) * wx
+            + coarse[np.ix_(yi1, xi1)] * wy * wx
+        )
+
+    def make(n):
+        labels = rng.integers(0, 10, n)
+        imgs = np.empty((n, 28, 28), DTYPE)
+        for i, c in enumerate(labels):
+            dy, dx = rng.integers(-max_shift, max_shift + 1, 2)
+            img = np.roll(np.roll(templates[c], dy, axis=0), dx, axis=1)
+            imgs[i] = img + noise * rng.standard_normal((28, 28))
+        if flat:
+            data = imgs.reshape(n, 784)
+        else:
+            data = imgs[:, None, :, :]
+        return Dataset(data.astype(DTYPE), labels.astype(DTYPE))
+
+    return make(n_train), make(n_test)

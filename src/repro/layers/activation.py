@@ -1,0 +1,68 @@
+"""Activation layers — built on :class:`ActivationEnsemble` so the
+compiler may run them in place on the source's buffers (§3.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ActivationEnsemble, Dim, FieldBinding, Net
+from repro.layers.neurons import (
+    DropoutNeuron,
+    ReLUNeuron,
+    SigmoidNeuron,
+    TanhNeuron,
+)
+from repro.utils.rng import get_rng
+
+
+def ReLULayer(name: str, net: Net, input_ens) -> ActivationEnsemble:
+    """Rectified linear activation over ``input_ens``."""
+    return ActivationEnsemble(net, name, ReLUNeuron, input_ens)
+
+
+def SigmoidLayer(name: str, net: Net, input_ens) -> ActivationEnsemble:
+    """Logistic activation over ``input_ens``."""
+    return ActivationEnsemble(net, name, SigmoidNeuron, input_ens)
+
+
+def TanhLayer(name: str, net: Net, input_ens) -> ActivationEnsemble:
+    """Hyperbolic-tangent activation over ``input_ens``."""
+    return ActivationEnsemble(net, name, TanhNeuron, input_ens)
+
+
+def DropoutLayer(
+    name: str, net: Net, input_ens, ratio: float = 0.5, rng=None
+) -> ActivationEnsemble:
+    """Inverted dropout with drop probability ``ratio``.
+
+    The mask is a *Batch* field (§3.1) resampled before every training
+    forward pass by the ensemble's pre-forward hook; at test time the
+    mask is all ones, so no rescaling is needed at inference.
+    """
+    if not 0.0 <= ratio < 1.0:
+        raise ValueError("dropout ratio must be in [0, 1)")
+    mask_proto = np.ones(input_ens.shape, dtype=np.float32)
+    fields = {
+        "mask": FieldBinding(
+            mask_proto,
+            tuple(Dim(i) for i in range(len(input_ens.shape))),
+            batch=True,
+        )
+    }
+    ens = ActivationEnsemble(net, name, DropoutNeuron, input_ens,
+                             fields=fields)
+    rng = rng or get_rng()
+    mask_buf = f"{name}_mask"
+    keep = 1.0 - ratio
+
+    def sample_mask(bufs, rt, mask_buf=mask_buf, keep=keep, rng=rng):
+        mask = bufs[mask_buf]
+        if rt.training:
+            mask[...] = (
+                rng.random(mask.shape) < keep
+            ).astype(np.float32) / keep
+        else:
+            mask[...] = 1.0
+
+    ens.pre_forward = sample_mask
+    return ens

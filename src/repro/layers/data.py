@@ -1,0 +1,28 @@
+"""Data layers.
+
+The paper's example (Fig. 7) reads batches through an ``HDF5DataLayer``;
+this reproduction has no on-disk datasets, so :func:`MemoryDataLayer`
+provides the equivalent pair of input ensembles fed from in-memory arrays
+via ``CompiledNet.set_input`` / ``solve``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core import DataEnsemble, Net
+
+
+def MemoryDataLayer(net: Net, name: str, shape: Sequence[int]) -> DataEnsemble:
+    """A single input ensemble of the given per-item shape."""
+    return DataEnsemble(net, name, tuple(shape))
+
+
+def DataAndLabelLayer(
+    net: Net, data_shape: Sequence[int], data_name: str = "data",
+    label_name: str = "label",
+) -> Tuple[DataEnsemble, DataEnsemble]:
+    """The ``data, label`` pair of the paper's Fig. 7."""
+    data = DataEnsemble(net, data_name, tuple(data_shape))
+    label = DataEnsemble(net, label_name, (1,))
+    return data, label

@@ -1,0 +1,75 @@
+"""Gated Recurrent Unit — the other RNN block the paper's language
+supports (§3: "as well as RNN blocks such as the Gated Recurrent and
+Long Short Term Memory units")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import Ensemble, Net, all_to_all, one_to_one
+from repro.layers.fully_connected import (
+    FullyConnectedEnsemble,
+    FullyConnectedLayer,
+)
+from repro.layers.mathops import (
+    AddLayer,
+    MulEnsemble,
+    MulLayer,
+    OneMinusLayer,
+    SigmoidEnsemble,
+    TanhEnsemble,
+)
+
+
+@dataclass
+class GRUBlock:
+    """Handles to a GRU unit's ensembles."""
+
+    h: Ensemble
+    z: Ensemble
+    r: Ensemble
+
+
+def GRULayer(name: str, net: Net, input_ensemble, n_outputs: int,
+             rng=None) -> GRUBlock:
+    """A GRU unit::
+
+        z = σ(Wz x + Uz h⁻)          (update gate)
+        r = σ(Wr x + Ur h⁻)          (reset gate)
+        h~ = tanh(Wh x + Uh (r ⊙ h⁻))
+        h = z ⊙ h~ + (1 - z) ⊙ h⁻
+    """
+    n = n_outputs
+
+    zx = FullyConnectedLayer(f"{name}_zx", net, input_ensemble, n, rng=rng)
+    rx = FullyConnectedLayer(f"{name}_rx", net, input_ensemble, n, rng=rng)
+    hx = FullyConnectedLayer(f"{name}_hx", net, input_ensemble, n, rng=rng)
+
+    zh = FullyConnectedEnsemble(f"{name}_zh", net, n, n, rng=rng)
+    rh = FullyConnectedEnsemble(f"{name}_rh", net, n, n, rng=rng)
+
+    z = SigmoidEnsemble(f"{name}_z", net,
+                        AddLayer(f"{name}_zadd", net, zx, zh))
+    r = SigmoidEnsemble(f"{name}_r", net,
+                        AddLayer(f"{name}_radd", net, rx, rh))
+
+    # r ⊙ h⁻ feeds the candidate's hidden path
+    rh_prev = MulEnsemble(f"{name}_rhprev", net, (n,))
+    net.add_connections(r, rh_prev, one_to_one(1))
+    hh = FullyConnectedLayer(f"{name}_hh", net, rh_prev, n, rng=rng)
+    h_cand = TanhEnsemble(f"{name}_hcand", net,
+                          AddLayer(f"{name}_hadd", net, hx, hh))
+
+    zc = MulLayer(f"{name}_zc", net, z, h_cand)
+    one_minus_z = OneMinusLayer(f"{name}_omz", net, z)
+    h_keep = MulEnsemble(f"{name}_hkeep", net, (n,))
+    net.add_connections(one_minus_z, h_keep, one_to_one(1))
+    h = AddLayer(f"{name}_h", net, zc, h_keep)
+
+    # recurrent feedback of h into both gates, the reset product, and
+    # the keep blend
+    net.add_connections(h, zh, all_to_all((n,)), recurrent=True)
+    net.add_connections(h, rh, all_to_all((n,)), recurrent=True)
+    net.add_connections(h, rh_prev, one_to_one(1), recurrent=True)
+    net.add_connections(h, h_keep, one_to_one(1), recurrent=True)
+    return GRUBlock(h=h, z=z, r=r)

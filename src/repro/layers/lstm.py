@@ -1,0 +1,90 @@
+"""Long Short-Term Memory unit (§4, Fig. 6).
+
+Built entirely from standard-library pieces — fully-connected ensembles
+for the four gates' input and hidden paths, σ/tanh/+/× math ensembles,
+and two recurrent connections (the memory cell's self-connection and the
+hidden state feeding back into the gates). The structure follows the
+paper's Fig. 6, including the peephole-style ``oC`` inner product from
+the cell state into the output gate.
+
+Networks containing LSTM layers must be constructed with
+``Net(batch, time_steps=T)``; the executor unrolls over ``T`` and
+back-propagates through time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import Ensemble, Net, all_to_all, one_to_one
+from repro.layers.fully_connected import (
+    FullyConnectedEnsemble,
+    FullyConnectedLayer,
+)
+from repro.layers.mathops import (
+    Add3Layer,
+    AddLayer,
+    MulEnsemble,
+    MulLayer,
+    SigmoidEnsemble,
+    TanhEnsemble,
+)
+
+
+@dataclass
+class LSTMBlock:
+    """Handles to an LSTM unit's ensembles."""
+
+    h: Ensemble  # hidden output (per time step)
+    c: Ensemble  # memory cell state
+    i: Ensemble
+    f: Ensemble
+    o: Ensemble
+
+
+def LSTMLayer(name: str, net: Net, input_ensemble, n_outputs: int,
+              rng=None) -> LSTMBlock:
+    """An LSTM unit (Fig. 6). Returns an :class:`LSTMBlock`; connect
+    downstream layers to ``block.h``."""
+    n = n_outputs
+
+    # Split the input into the 4 gate signals (Fig. 6 line 4)
+    ix = FullyConnectedLayer(f"{name}_ix", net, input_ensemble, n, rng=rng)
+    cx = FullyConnectedLayer(f"{name}_cx", net, input_ensemble, n, rng=rng)
+    fx = FullyConnectedLayer(f"{name}_fx", net, input_ensemble, n, rng=rng)
+    ox = FullyConnectedLayer(f"{name}_ox", net, input_ensemble, n, rng=rng)
+
+    # Split the previous output into 4 gate signals (line 9); these are
+    # connected to h recurrently at the end
+    ih = FullyConnectedEnsemble(f"{name}_ih", net, n, n, rng=rng)
+    ch = FullyConnectedEnsemble(f"{name}_ch", net, n, n, rng=rng)
+    fh = FullyConnectedEnsemble(f"{name}_fh", net, n, n, rng=rng)
+    oh = FullyConnectedEnsemble(f"{name}_oh", net, n, n, rng=rng)
+
+    i = SigmoidEnsemble(f"{name}_i", net,
+                        AddLayer(f"{name}_iadd", net, ih, ix))
+    f = SigmoidEnsemble(f"{name}_f", net,
+                        AddLayer(f"{name}_fadd", net, fh, fx))
+    c_sim = TanhEnsemble(f"{name}_csim", net,
+                         AddLayer(f"{name}_cadd", net, ch, cx))
+
+    # f_C multiplies the forget gate with the previous cell state
+    f_c = MulEnsemble(f"{name}_fc", net, (n,))
+    net.add_connections(f, f_c, one_to_one(1))
+    i_c = MulLayer(f"{name}_ic", net, i, c_sim)
+    c = AddLayer(f"{name}_c", net, i_c, f_c)
+    net.add_connections(c, f_c, one_to_one(1), recurrent=True)
+
+    # output gate with the cell-state inner product (line 22)
+    oc = FullyConnectedLayer(f"{name}_oc", net, c, n, rng=rng)
+    o = SigmoidEnsemble(
+        f"{name}_o", net, Add3Layer(f"{name}_oadd", net, oc, oh, ox)
+    )
+    # h = o * tanh(C), tanh out of place (the paper's copy=true, line 24)
+    h = MulLayer(f"{name}_h", net, o,
+                 TanhEnsemble(f"{name}_tc", net, c))
+
+    # Connect h back to each gate (line 27)
+    for gate in (ih, ch, fh, oh):
+        net.add_connections(h, gate, all_to_all((n,)), recurrent=True)
+    return LSTMBlock(h=h, c=c, i=i, f=f, o=o)

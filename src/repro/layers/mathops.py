@@ -1,0 +1,71 @@
+"""Elementwise math ensembles (§4, Fig. 6).
+
+The paper's LSTM uses math functions ``σ, +, *, tanh`` that "construct an
+ensemble of neurons to perform the corresponding operation and connect
+the inputs". These helpers are those functions.
+"""
+
+from __future__ import annotations
+
+from repro.core import Ensemble, Net, one_to_one
+from repro.layers.neurons import (
+    Add3Neuron,
+    AddNeuron,
+    MulNeuron,
+    OneMinusNeuron,
+    SigmoidNeuron,
+    TanhNeuron,
+)
+
+
+def _elementwise(name, net, neuron_type, sources):
+    shape = sources[0].shape
+    for s in sources[1:]:
+        if s.shape != shape:
+            raise ValueError(
+                f"elementwise ensemble {name!r}: shape mismatch "
+                f"{s.shape} vs {shape}"
+            )
+    ens = Ensemble(net, name, neuron_type, shape)
+    for s in sources:
+        net.add_connections(s, ens, one_to_one(len(shape)))
+    return ens
+
+
+def AddLayer(name: str, net: Net, a, b) -> Ensemble:
+    """Elementwise ``a + b``."""
+    return _elementwise(name, net, AddNeuron, [a, b])
+
+
+def Add3Layer(name: str, net: Net, a, b, c) -> Ensemble:
+    """Elementwise ``a + b + c``."""
+    return _elementwise(name, net, Add3Neuron, [a, b, c])
+
+
+def MulLayer(name: str, net: Net, a, b) -> Ensemble:
+    """Elementwise ``a * b``."""
+    return _elementwise(name, net, MulNeuron, [a, b])
+
+
+def OneMinusLayer(name: str, net: Net, a) -> Ensemble:
+    """Elementwise ``1 - a``."""
+    return _elementwise(name, net, OneMinusNeuron, [a])
+
+
+def SigmoidEnsemble(name: str, net: Net, a) -> Ensemble:
+    """σ as a standalone (out-of-place) ensemble — unlike
+    :func:`~repro.layers.activation.SigmoidLayer` this never runs in
+    place, which recurrent blocks need when the input is reused."""
+    return _elementwise(name, net, SigmoidNeuron, [a])
+
+
+def TanhEnsemble(name: str, net: Net, a) -> Ensemble:
+    """tanh as a standalone (out-of-place) ensemble — the paper's
+    ``tanh(net, C; copy=true)`` (Fig. 6 line 24)."""
+    return _elementwise(name, net, TanhNeuron, [a])
+
+
+def MulEnsemble(name: str, net: Net, shape) -> Ensemble:
+    """An unconnected elementwise-product ensemble; callers connect its
+    two inputs afterwards (Fig. 6's ``f_C`` with a recurrent input)."""
+    return Ensemble(net, name, MulNeuron, tuple(shape))

@@ -1,0 +1,20 @@
+"""Evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def top1_accuracy(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of rows whose argmax equals the integer label."""
+    scores = scores.reshape(scores.shape[0], -1)
+    labels = labels.reshape(-1).astype(np.int64)
+    return float((scores.argmax(axis=1) == labels).mean())
+
+
+def topk_accuracy(scores: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of rows whose label is among the top-k scores."""
+    scores = scores.reshape(scores.shape[0], -1)
+    labels = labels.reshape(-1).astype(np.int64)
+    topk = np.argpartition(-scores, min(k, scores.shape[1] - 1), axis=1)[:, :k]
+    return float((topk == labels[:, None]).any(axis=1).mean())

@@ -1,0 +1,140 @@
+"""Normalization layers, built on :class:`NormalizationEnsemble` (§3.2):
+"specifying normalization operations is often better suited for array- or
+vector-style operations", so these are whole-array kernels and act as
+fusion barriers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Net, NormalizationEnsemble, one_to_one
+
+_EPS = 1e-5
+
+
+def BatchNormLayer(
+    name: str, net: Net, input_ens, momentum: float = 0.9, eps: float = _EPS
+) -> NormalizationEnsemble:
+    """Batch normalization (Ioffe & Szegedy, cited as [31]).
+
+    Normalizes per channel over batch (and spatial dims for rank-3
+    inputs), tracking running statistics for inference. Affine scale and
+    shift, when wanted, compose from Scale ensembles.
+    """
+    rank = len(input_ens.shape)
+    if rank == 3:
+        axes = (0, 2, 3)  # batch, h, w — per channel
+        c = input_ens.shape[0]
+    elif rank == 1:
+        axes = (0,)
+        c = input_ens.shape[0]
+    else:
+        raise ValueError(f"BatchNorm supports rank 1 or 3, got {rank}")
+
+    state = {
+        "running_mean": np.zeros(c, np.float64),
+        "running_var": np.ones(c, np.float64),
+        "momentum": momentum,
+        "eps": eps,
+        "axes": axes,
+    }
+
+    def _bshape(x):
+        shape = [1] * x.ndim
+        shape[1] = c
+        return shape
+
+    def forward_fn(out, ins, state):
+        x = ins[0].astype(np.float64)
+        axes, eps = state["axes"], state["eps"]
+        if state.get("training", True):
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            m = state["momentum"]
+            state["running_mean"] = m * state["running_mean"] + (1 - m) * mean
+            state["running_var"] = m * state["running_var"] + (1 - m) * var
+        else:
+            mean, var = state["running_mean"], state["running_var"]
+        shape = _bshape(x)
+        xhat = (x - mean.reshape(shape)) / np.sqrt(var.reshape(shape) + eps)
+        t = state.get("t", 0)
+        state[("xhat", t)] = xhat
+        state[("inv_std", t)] = 1.0 / np.sqrt(var + eps)
+        state[("batch_mode", t)] = state.get("training", True)
+        out[...] = xhat.astype(out.dtype)
+
+    def backward_fn(in_grads, out_grad, ins, out, state):
+        g = out_grad.astype(np.float64)
+        shape = _bshape(g)
+        t = state.get("t", 0)
+        inv_std = state[("inv_std", t)].reshape(shape)
+        if not state.get(("batch_mode", t), True):
+            in_grads[0] += (g * inv_std).astype(in_grads[0].dtype)
+            return
+        axes = state["axes"]
+        xhat = state[("xhat", t)]
+        m = float(np.prod([g.shape[a] for a in axes]))
+        gsum = g.sum(axis=axes, keepdims=True)
+        gx_sum = (g * xhat).sum(axis=axes, keepdims=True)
+        dx = inv_std * (g - gsum / m - xhat * gx_sum / m)
+        in_grads[0] += dx.astype(in_grads[0].dtype)
+
+    bn = NormalizationEnsemble(
+        net, name, input_ens.shape, forward_fn, backward_fn, state=state
+    )
+    net.add_connections(input_ens, bn, one_to_one(rank))
+    return bn
+
+
+def LRNLayer(
+    name: str,
+    net: Net,
+    input_ens,
+    local_size: int = 5,
+    alpha: float = 1e-4,
+    beta: float = 0.75,
+    k: float = 1.0,
+) -> NormalizationEnsemble:
+    """Local response normalization across channels (AlexNet §3.3)::
+
+        out[c] = in[c] / (k + α/n · Σ_{c' in window(c)} in[c']²)^β
+    """
+    if len(input_ens.shape) != 3:
+        raise ValueError("LRN expects a rank-3 (c, h, w) input")
+    n = local_size
+    half = n // 2
+
+    def _window_sum(sq):
+        # sliding-window sum over the channel axis (axis 1 incl. batch)
+        c = sq.shape[1]
+        pad = np.zeros_like(sq[:, :1])
+        cs = np.concatenate([pad, np.cumsum(sq, axis=1)], axis=1)
+        lo = np.maximum(np.arange(c) - half, 0)
+        hi = np.minimum(np.arange(c) + half + 1, c)
+        return cs[:, hi] - cs[:, lo]
+
+    def forward_fn(out, ins, state):
+        x = ins[0].astype(np.float64)
+        scale = k + (alpha / n) * _window_sum(x * x)
+        t = state.get("t", 0)
+        state[("scale", t)] = scale
+        state[("x", t)] = x
+        out[...] = (x * scale ** (-beta)).astype(out.dtype)
+
+    def backward_fn(in_grads, out_grad, ins, out, state):
+        g = out_grad.astype(np.float64)
+        t = state.get("t", 0)
+        scale, x = state[("scale", t)], state[("x", t)]
+        y = x * scale ** (-beta)
+        ratio = g * y / scale
+        dx = g * scale ** (-beta) - (2.0 * alpha * beta / n) * x * _window_sum(
+            ratio
+        )
+        in_grads[0] += dx.astype(in_grads[0].dtype)
+
+    lrn = NormalizationEnsemble(
+        net, name, input_ens.shape, forward_fn, backward_fn
+    )
+    net.add_connections(input_ens, lrn, one_to_one(3))
+    return lrn

@@ -1,0 +1,39 @@
+"""Pooling layers (§2.3): sparse spatially-local windows per channel."""
+
+from __future__ import annotations
+
+from repro.core import Ensemble, Net, spatial_window_2d
+from repro.layers.neurons import AvgNeuron, MaxNeuron
+from repro.utils import pool_output_dim
+
+
+def _pool(name, net, input_ens, neuron_type, kernel, stride, pad):
+    if len(input_ens.shape) != 3:
+        raise ValueError(
+            f"pooling input must be rank-3 (c, h, w), got {input_ens.shape}"
+        )
+    c, h, w = input_ens.shape
+    out_h = pool_output_dim(h, kernel, stride, pad)
+    out_w = pool_output_dim(w, kernel, stride, pad)
+    pool = Ensemble(net, name, neuron_type, (c, out_h, out_w))
+    net.add_connections(
+        input_ens, pool, spatial_window_2d(kernel, stride, pad)
+    )
+    return pool
+
+
+def MaxPoolingLayer(
+    name: str, net: Net, input_ens, kernel: int = 2, stride: int = 2,
+    pad: int = 0,
+) -> Ensemble:
+    """Max pooling — an ensemble of MaxNeurons over non-mixing channel
+    windows."""
+    return _pool(name, net, input_ens, MaxNeuron, kernel, stride, pad)
+
+
+def MeanPoolingLayer(
+    name: str, net: Net, input_ens, kernel: int = 2, stride: int = 2,
+    pad: int = 0,
+) -> Ensemble:
+    """Average pooling — an ensemble of AvgNeurons."""
+    return _pool(name, net, input_ens, AvgNeuron, kernel, stride, pad)

@@ -1,0 +1,75 @@
+"""Softmax, loss, and softmax-loss layers.
+
+``SoftmaxLossLayer`` is a :class:`~repro.core.ensemble.LossEnsemble`:
+a whole-array operation better suited to the array style (like
+NormalizationEnsembles, §3.2), computing mean cross-entropy over the
+batch and seeding back-propagation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import LossEnsemble, Net, NormalizationEnsemble, one_to_one
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically-stable softmax over the last axis."""
+    z = logits - logits.max(axis=-1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def SoftmaxLossLayer(name: str, net: Net, input_ens, label_ens) -> LossEnsemble:
+    """Mean cross-entropy of softmax(input) against integer labels.
+
+    ``label_ens`` is a DataEnsemble of shape ``(1,)`` holding the class
+    index per batch item. The softmax probabilities of the last forward
+    pass are stashed in ``state['probs']``.
+    """
+
+    def forward_fn(ins, state):
+        logits = ins[0].reshape(ins[0].shape[0], -1)
+        labels = ins[1].reshape(ins[1].shape[0]).astype(np.int64)
+        probs = softmax(logits.astype(np.float64))
+        # keyed by time step so BPTT sees each step's own probabilities
+        state[("probs", state.get("t", 0))] = probs
+        state[("labels", state.get("t", 0))] = labels
+        picked = probs[np.arange(len(labels)), labels]
+        return -np.log(np.maximum(picked, 1e-30)).mean()
+
+    def backward_fn(in_grads, ins, state):
+        t = state.get("t", 0)
+        probs, labels = state[("probs", t)], state[("labels", t)]
+        g = probs.copy()
+        g[np.arange(len(labels)), labels] -= 1.0
+        g /= len(labels)
+        in_grads[0] += g.reshape(in_grads[0].shape).astype(in_grads[0].dtype)
+        # labels receive no gradient
+
+    loss = LossEnsemble(net, name, forward_fn, backward_fn)
+    net.add_connections(input_ens, loss, one_to_one(len(input_ens.shape)))
+    net.add_connections(label_ens, loss, one_to_one(len(label_ens.shape)))
+    return loss
+
+
+def SoftmaxLayer(name: str, net: Net, input_ens) -> NormalizationEnsemble:
+    """Standalone softmax over the flattened ensemble (inference heads)."""
+
+    def forward_fn(out, ins, state):
+        flat = ins[0].reshape(ins[0].shape[0], -1)
+        out[...] = softmax(flat).reshape(out.shape).astype(out.dtype)
+
+    def backward_fn(in_grads, out_grad, ins, out, state):
+        p = out.reshape(out.shape[0], -1).astype(np.float64)
+        g = out_grad.reshape(out.shape[0], -1).astype(np.float64)
+        dot = (g * p).sum(axis=1, keepdims=True)
+        in_grads[0] += (p * (g - dot)).reshape(in_grads[0].shape).astype(
+            in_grads[0].dtype
+        )
+
+    sm = NormalizationEnsemble(
+        net, name, input_ens.shape, forward_fn, backward_fn
+    )
+    net.add_connections(input_ens, sm, one_to_one(len(input_ens.shape)))
+    return sm

@@ -1,0 +1,44 @@
+"""Network zoo: the paper's evaluation models plus small test models."""
+
+from repro.models.build import BuiltModel, build_latte
+from repro.models.configs import (
+    CONFIGS,
+    ConvSpec,
+    DropoutSpec,
+    FCSpec,
+    LRNSpec,
+    LayerSpec,
+    ModelConfig,
+    PoolSpec,
+    ReLUSpec,
+    SoftmaxLossSpec,
+    alexnet_config,
+    lenet_config,
+    mlp_config,
+    overfeat_config,
+    vgg_config,
+    vgg_group_config,
+    vgg_micro_config,
+)
+
+__all__ = [
+    "CONFIGS",
+    "BuiltModel",
+    "ConvSpec",
+    "DropoutSpec",
+    "FCSpec",
+    "LRNSpec",
+    "LayerSpec",
+    "ModelConfig",
+    "PoolSpec",
+    "ReLUSpec",
+    "SoftmaxLossSpec",
+    "alexnet_config",
+    "build_latte",
+    "lenet_config",
+    "mlp_config",
+    "overfeat_config",
+    "vgg_config",
+    "vgg_group_config",
+    "vgg_micro_config",
+]

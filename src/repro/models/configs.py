@@ -1,0 +1,242 @@
+"""Architecture configurations shared by the Latte builder and both
+evaluation baselines.
+
+The paper evaluates on the three ImageNet models of the public
+convnet-benchmarks configurations [16]: AlexNet [36], OverFeat (fast)
+[41], and VGG (model A / 11 layers) [42] — VGG-A is the variant whose
+first group is a single Conv+ReLU+Pool triple ("the first three layers of
+the VGG network", §7.1.1) and whose later groups hold two convolutions
+before the pooling layer (the group-4 fusion limit of §7.1.2).
+
+Each model is a list of :class:`LayerSpec` records; ``channel_scale`` and
+``input_size`` let the benchmark harness shrink geometry while keeping
+kernel/stride/padding structure faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    name: str
+    filters: int
+    kernel: int
+    stride: int = 1
+    pad: int = 0
+
+
+@dataclass(frozen=True)
+class ReLUSpec:
+    name: str
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    name: str
+    kernel: int = 2
+    stride: int = 2
+    pad: int = 0
+    mode: str = "max"  # 'max' | 'mean'
+
+
+@dataclass(frozen=True)
+class FCSpec:
+    name: str
+    outputs: int
+
+
+@dataclass(frozen=True)
+class DropoutSpec:
+    name: str
+    ratio: float = 0.5
+
+
+@dataclass(frozen=True)
+class LRNSpec:
+    name: str
+    local_size: int = 5
+    alpha: float = 1e-4
+    beta: float = 0.75
+
+
+@dataclass(frozen=True)
+class SoftmaxLossSpec:
+    name: str = "loss"
+
+
+LayerSpec = Union[
+    ConvSpec, ReLUSpec, PoolSpec, FCSpec, DropoutSpec, LRNSpec, SoftmaxLossSpec
+]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """A full network: input geometry plus an ordered layer list."""
+
+    name: str
+    input_shape: Tuple[int, int, int]
+    layers: Tuple[LayerSpec, ...]
+    classes: int
+
+    def scaled(self, channel_scale: float = 1.0,
+               input_size: Optional[int] = None,
+               classes: Optional[int] = None) -> "ModelConfig":
+        """Shrink channel counts / input geometry for benchmarking."""
+        c, h, w = self.input_shape
+        if input_size is not None:
+            h = w = input_size
+        classes = classes if classes is not None else self.classes
+        layers = []
+        for spec in self.layers:
+            if isinstance(spec, ConvSpec):
+                layers.append(
+                    ConvSpec(spec.name, max(1, round(spec.filters * channel_scale)),
+                             spec.kernel, spec.stride, spec.pad)
+                )
+            elif isinstance(spec, FCSpec):
+                n = spec.outputs
+                if n != self.classes:
+                    n = max(1, round(n * channel_scale))
+                else:
+                    n = classes
+                layers.append(FCSpec(spec.name, n))
+            else:
+                layers.append(spec)
+        return ModelConfig(self.name, (c, h, w), tuple(layers), classes)
+
+
+def _conv_group(prefix: str, filters: int, convs: int, kernel=3, pad=1,
+                pool=True) -> List[LayerSpec]:
+    out: List[LayerSpec] = []
+    for i in range(1, convs + 1):
+        suffix = f"_{i}" if convs > 1 else ""
+        out.append(ConvSpec(f"{prefix}{suffix}", filters, kernel, 1, pad))
+        out.append(ReLUSpec(f"relu_{prefix}{suffix}"))
+    if pool:
+        out.append(PoolSpec(f"pool_{prefix}", 2, 2))
+    return out
+
+
+def vgg_config() -> ModelConfig:
+    """VGG model A (11 weight layers), Simonyan & Zisserman [42]."""
+    layers: List[LayerSpec] = []
+    layers += _conv_group("conv1", 64, 1)
+    layers += _conv_group("conv2", 128, 1)
+    layers += _conv_group("conv3", 256, 2)
+    layers += _conv_group("conv4", 512, 2)
+    layers += _conv_group("conv5", 512, 2)
+    layers += [
+        FCSpec("fc6", 4096), ReLUSpec("relu6"), DropoutSpec("drop6"),
+        FCSpec("fc7", 4096), ReLUSpec("relu7"), DropoutSpec("drop7"),
+        FCSpec("fc8", 1000), SoftmaxLossSpec(),
+    ]
+    return ModelConfig("vgg", (3, 224, 224), tuple(layers), 1000)
+
+
+def vgg_micro_config() -> ModelConfig:
+    """The §7.1.1 microbenchmark: only the first three layers of VGG
+    (Conv 3x3x64 + ReLU + 2x2 max pool)."""
+    return ModelConfig(
+        "vgg_micro", (3, 224, 224), tuple(_conv_group("conv1", 64, 1)), 1000
+    )
+
+
+def vgg_group_config(group: int) -> ModelConfig:
+    """One Conv[+Conv]+ReLU+Pool group of VGG-A in isolation (Fig. 15).
+
+    The input shape is what that group sees inside the full network.
+    """
+    specs = {
+        1: (3, 224, 64, 1),
+        2: (64, 112, 128, 1),
+        3: (128, 56, 256, 2),
+        4: (256, 28, 512, 2),
+    }
+    if group not in specs:
+        raise ValueError("VGG groups 1-4 are defined (Fig. 15)")
+    c_in, size, filters, convs = specs[group]
+    layers = tuple(_conv_group(f"conv{group}", filters, convs))
+    return ModelConfig(f"vgg_group{group}", (c_in, size, size), layers, 1000)
+
+
+def alexnet_config(with_lrn: bool = True) -> ModelConfig:
+    """AlexNet (Krizhevsky et al. [36]), single-tower Caffe layout."""
+    layers: List[LayerSpec] = [
+        ConvSpec("conv1", 96, 11, 4, 0), ReLUSpec("relu1"),
+    ]
+    if with_lrn:
+        layers.append(LRNSpec("norm1"))
+    layers += [PoolSpec("pool1", 3, 2),
+               ConvSpec("conv2", 256, 5, 1, 2), ReLUSpec("relu2")]
+    if with_lrn:
+        layers.append(LRNSpec("norm2"))
+    layers += [
+        PoolSpec("pool2", 3, 2),
+        ConvSpec("conv3", 384, 3, 1, 1), ReLUSpec("relu3"),
+        ConvSpec("conv4", 384, 3, 1, 1), ReLUSpec("relu4"),
+        ConvSpec("conv5", 256, 3, 1, 1), ReLUSpec("relu5"),
+        PoolSpec("pool5", 3, 2),
+        FCSpec("fc6", 4096), ReLUSpec("relu6"), DropoutSpec("drop6"),
+        FCSpec("fc7", 4096), ReLUSpec("relu7"), DropoutSpec("drop7"),
+        FCSpec("fc8", 1000), SoftmaxLossSpec(),
+    ]
+    return ModelConfig("alexnet", (3, 227, 227), tuple(layers), 1000)
+
+
+def overfeat_config() -> ModelConfig:
+    """OverFeat fast model (Sermanet et al. [41]) — 2-4x the filters of
+    AlexNet in the later convolution layers (§7.1.2)."""
+    layers: Tuple[LayerSpec, ...] = (
+        ConvSpec("conv1", 96, 11, 4, 0), ReLUSpec("relu1"),
+        PoolSpec("pool1", 2, 2),
+        ConvSpec("conv2", 256, 5, 1, 0), ReLUSpec("relu2"),
+        PoolSpec("pool2", 2, 2),
+        ConvSpec("conv3", 512, 3, 1, 1), ReLUSpec("relu3"),
+        ConvSpec("conv4", 1024, 3, 1, 1), ReLUSpec("relu4"),
+        ConvSpec("conv5", 1024, 3, 1, 1), ReLUSpec("relu5"),
+        PoolSpec("pool5", 2, 2),
+        FCSpec("fc6", 3072), ReLUSpec("relu6"), DropoutSpec("drop6"),
+        FCSpec("fc7", 4096), ReLUSpec("relu7"), DropoutSpec("drop7"),
+        FCSpec("fc8", 1000), SoftmaxLossSpec(),
+    )
+    return ModelConfig("overfeat", (3, 231, 231), layers, 1000)
+
+
+def mlp_config(hidden=(20, 10), classes: int = 10,
+               input_dim: int = 784) -> ModelConfig:
+    """The simple multi-layer perceptron of Fig. 7."""
+    layers: List[LayerSpec] = []
+    for i, h in enumerate(hidden, start=1):
+        layers.append(FCSpec(f"ip{i}", h))
+        if i < len(hidden):
+            layers.append(ReLUSpec(f"relu_ip{i}"))
+    layers.append(SoftmaxLossSpec())
+    return ModelConfig("mlp", (input_dim, 1, 1), tuple(layers), classes)
+
+
+def lenet_config(classes: int = 10) -> ModelConfig:
+    """LeNet-style small CNN for the MNIST experiment (Fig. 20 uses a
+    simple configuration after Project Adam's MNIST setup)."""
+    layers: Tuple[LayerSpec, ...] = (
+        ConvSpec("conv1", 20, 5, 1, 0), ReLUSpec("relu1"),
+        PoolSpec("pool1", 2, 2),
+        ConvSpec("conv2", 50, 5, 1, 0), ReLUSpec("relu2"),
+        PoolSpec("pool2", 2, 2),
+        FCSpec("ip1", 500), ReLUSpec("relu_ip1"),
+        FCSpec("ip2", classes), SoftmaxLossSpec(),
+    )
+    return ModelConfig("lenet", (1, 28, 28), layers, classes)
+
+
+#: registry used by benchmarks and examples
+CONFIGS = {
+    "alexnet": alexnet_config,
+    "overfeat": overfeat_config,
+    "vgg": vgg_config,
+    "vgg_micro": vgg_micro_config,
+    "mlp": mlp_config,
+    "lenet": lenet_config,
+}

@@ -1,0 +1,362 @@
+"""Cross-layer fusion (§5.4.2).
+
+Two cooperating transformations:
+
+1. **Copy inlining** — when an input buffer's only uses index it
+   uniformly, the gather (and its reverse scatter) is folded into the
+   consumer's compute: pooling stops materializing ``poolinput`` and
+   reads the producer's output directly, which is exactly the
+   Fig. 9 → Fig. 12 rewrite the paper shows (the ``poolinput`` copy on
+   Fig. 9 line 11 disappears in Fig. 12 line 13). This both removes a
+   full pass over the data and frees the buffer.
+
+2. **Tile-loop fusion** — after tiling, consecutive units (within and
+   across layers) whose tile loops have identical trip counts are merged
+   under one shared tile loop, so a thread computes a convolution tile,
+   applies ReLU in place, and pools it while it is hot. Fusion is legal
+   only when every in-group value a unit reads is *tile-local*:
+   one-to-one and input-buffer reads always are; window reads are when
+   the window does not overlap between steps (extent ≤ stride along the
+   tiled dimension) and the scales line up. Overlapping windows — e.g. a
+   3×3 stride-1 convolution consuming another convolution — are
+   fusion-preventing dependences, which is why the paper cannot fuse the
+   conv+conv+pool group 4 of VGG (§7.1.2).
+
+NormalizationEnsembles, losses, paddings and communication calls are
+fusion barriers (§5.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.ir import (
+    Assign,
+    CommCall,
+    Const,
+    ExternOp,
+    Gemm,
+    Index,
+    Var,
+    buffers_read,
+    buffers_written,
+    free_vars,
+    substitute_stmt,
+    walk_exprs,
+)
+from repro.synthesis.lower import (
+    BATCH_VAR,
+    _kflat_expr,
+    _src_index,
+    _window_vars,
+    dim_var,
+)
+from repro.synthesis.units import FusedGroup, LoopSpec, LoopUnit, Section
+from repro.optim.tiling import TILE_DIM
+
+
+# ---------------------------------------------------------------------------
+# 1. Copy inlining
+# ---------------------------------------------------------------------------
+
+
+def inline_copies(fwd: List[Section], bwd: List[Section], plan) -> None:
+    """Fold eligible gather/scatter copies into their consumers."""
+    by_name_f = {s.ensemble: s for s in fwd}
+    by_name_b = {s.ensemble: s for s in bwd}
+    for (ens_name, j), cplan in list(plan.conn_plans.items()):
+        if cplan.mode != "copy" or cplan.recurrent:
+            continue
+        facts = plan.facts[ens_name]
+        info = facts.connections[j].mapping
+        f_sec, b_sec = by_name_f[ens_name], by_name_b[ens_name]
+        computes = [
+            u
+            for u in f_sec.units + b_sec.units
+            if u.tags.kind == "compute"
+        ]
+        probe = _inline_probe(computes, cplan)
+        if probe is None:
+            continue
+        sub_var = probe
+        ens = facts.ensemble
+        for u in computes:
+            _rewrite_inlined(u, ens, j, info, cplan, sub_var)
+        # drop the copy and scatter units
+        f_sec.units = [
+            u
+            for u in f_sec.units
+            if not (u.tags.kind == "copy" and u.tags.conn_index == j)
+        ]
+        b_sec.units = [
+            u
+            for u in b_sec.units
+            if not (u.tags.kind == "scatter" and u.tags.conn_index == j)
+        ]
+        # free the now-unused buffers
+        plan.buffers.pop(cplan.in_buf, None)
+        plan.buffers.pop(cplan.grad_in_buf, None)
+        cplan.mode = "inlined"
+
+
+def _inline_probe(computes, cplan) -> Optional[Union[str, bool]]:
+    """Check eligibility; returns the flat-window loop variable name,
+    True for constant-index (window size 1) uses, or None if ineligible.
+    """
+    target_bufs = {cplan.in_buf, cplan.grad_in_buf}
+    sub = None
+    seen_use = False
+    for u in computes:
+        for ref in walk_exprs(u.stmt):
+            if not isinstance(ref, Index):
+                continue
+            if ref.buffer in target_bufs:
+                seen_use = True
+                if len(ref.indices) < 2:
+                    return None
+                e = ref.indices[1]
+                if isinstance(e, Const):
+                    this = True
+                elif isinstance(e, Var):
+                    this = e.name
+                else:
+                    return None
+                if sub is None:
+                    sub = this
+                elif sub != this:
+                    return None
+    if not seen_use or sub is None:
+        return None
+    if sub is True:
+        return sub
+    # the loop var must not appear anywhere except these buffer indices
+    for u in computes:
+        for ref in walk_exprs(u.stmt):
+            if isinstance(ref, Index) and ref.buffer not in target_bufs:
+                if sub in free_vars(ref):
+                    return None
+    return sub
+
+
+def _rewrite_inlined(unit, ens, j, info, cplan, sub_var) -> None:
+    """Substitute direct source accesses for buffer accesses in a unit."""
+    target_bufs = {cplan.in_buf: False, cplan.grad_in_buf: True}
+    if not any(
+        isinstance(e, Index) and e.buffer in target_bufs
+        for e in walk_exprs(unit.stmt)
+    ):
+        return
+    wvars = [
+        f"{ens.name}_c{j}iw{d}" if wd.length > 1 else None
+        for d, wd in enumerate(info.dims)
+    ]
+    sidx = _src_index(ens, info, cplan, wvars)
+    src_val = cplan.padded_value or cplan.src_value
+    src_grd = cplan.padded_grad or cplan.src_grad
+
+    from repro.ir import map_expr, transform_exprs
+
+    def rewrite(e):
+        if isinstance(e, Index) and e.buffer in target_bufs:
+            is_grad = target_bufs[e.buffer]
+            base = src_grd if is_grad else src_val
+            return Index(base, (Var(BATCH_VAR),) + sidx)
+        return None
+
+    unit.stmt = transform_exprs(unit.stmt, lambda e: map_expr(rewrite, e))
+
+    # replace the flat-window loop with per-dimension window loops
+    new_loops: List[LoopSpec] = []
+    for sp in unit.loops:
+        if sub_var is not True and sp.var == sub_var:
+            for d, wv in enumerate(wvars):
+                if wv is not None:
+                    new_loops.append(
+                        LoopSpec.simple(wv, info.dims[d].length, role="window")
+                    )
+        else:
+            new_loops.append(sp)
+    unit.loops = new_loops
+    unit.tags.conn = info
+    unit.tags.copy_source = src_val
+    unit.tags.note = "inlined"
+
+
+# ---------------------------------------------------------------------------
+# 2. Tile-loop fusion / schedule construction
+# ---------------------------------------------------------------------------
+
+ScheduleItem = Union[FusedGroup, CommCall]
+
+
+def _window_tile_local(info, ens_shape, src_buf_shape) -> bool:
+    """Can a window read be satisfied from the producer's current tile?
+
+    Requires non-overlapping stepping (length ≤ coeff) and exact scale
+    coverage along the tiled sink dimension.
+    """
+    td = TILE_DIM
+    if len(ens_shape) <= td:
+        return False
+    any_dep = False
+    for d, wd in enumerate(info.dims):
+        c = wd.coeffs[td] if td < len(wd.coeffs) else 0
+        if c == 0:
+            continue
+        any_dep = True
+        if wd.length > c:
+            return False
+        if wd.offset < 0:
+            return False
+        if c * ens_shape[td] != info.source_shape[d]:
+            return False
+    return any_dep
+
+
+def _reads_tile_local(unit: LoopUnit, buf: str, writer: LoopUnit, plan) -> bool:
+    """May ``unit`` read ``buf`` (written earlier in the group) within the
+    shared tile?"""
+    spec = plan.buffers.get(buf)
+    if spec is not None and spec.alias_reshape is not None:
+        return False  # reshaped alias views are not tile-decomposable
+    info = unit.tags.conn
+    src = unit.tags.copy_source
+    ens_shape = _ens_shape(unit, plan)
+    if unit.tags.kind in ("copy",) or (
+        unit.tags.kind == "compute" and src is not None and buf == _resolved(src, plan)
+    ):
+        if info is None or ens_shape is None:
+            return False
+        if info.kind == "one_to_one":
+            return True
+        if info.kind != "window":
+            return False
+        return _window_tile_local(info, ens_shape, None)
+    if unit.tags.kind in ("compute", "fill", "scatter"):
+        # input buffers and value/grad aliases are tile-aligned by
+        # construction (same tiled dimension variable) — provided the
+        # writer itself stayed inside its tile (a scatter through an
+        # overlapping window would not)
+        role = spec.role if spec is not None else ""
+        if role not in ("input", "grad_input", "value", "grad", "padded",
+                        "padded_grad"):
+            return False
+        if writer.tags.kind == "scatter" or (
+            writer.tags.kind == "compute" and writer.tags.note == "inlined"
+        ):
+            w_info = writer.tags.conn
+            w_shape = _ens_shape(writer, plan)
+            if w_info is None or w_shape is None:
+                return False
+            if w_info.kind == "one_to_one":
+                return True
+            if w_info.kind != "window":
+                return False
+            return _window_tile_local(w_info, w_shape, None)
+        return True
+    return False
+
+
+def _resolved(name, plan):
+    return plan.resolve_alias(name) if name in plan.buffers else name
+
+
+def _ens_shape(unit, plan):
+    facts = plan.facts.get(unit.tags.ensemble)
+    return facts.ensemble.shape if facts is not None else None
+
+
+def build_schedule(
+    sections: List[Section], plan, options
+) -> List[ScheduleItem]:
+    """Group units into fused groups and interleave communication calls."""
+    items: List[ScheduleItem] = []
+    group: Optional[FusedGroup] = None
+    written: Dict[str, LoopUnit] = {}
+
+    def close():
+        nonlocal group, written
+        if group is not None and group.units:
+            items.append(group)
+        group = None
+        written = {}
+
+    for sec in sections:
+        for unit in sec.units:
+            tiled = bool(unit.loops) and unit.loops[0].role == "tile"
+            fusable = (
+                options.fusion
+                and tiled
+                and unit.tags.recurrent_src is None
+                and not isinstance(unit.stmt, ExternOp)
+            )
+            if not fusable:
+                close()
+                rec = (
+                    frozenset({unit.tags.recurrent_src})
+                    if unit.tags.recurrent_src is not None
+                    else frozenset()
+                )
+                items.append(
+                    FusedGroup([unit], None, _label(unit),
+                               recurrent_reads=rec)
+                )
+                continue
+            if group is None or group.tile_loop is None:
+                close()
+                tile = unit.loops.pop(0)
+                group = FusedGroup([unit], tile, _label(unit))
+                written.update(
+                    {_resolved(b, plan): unit
+                     for b in buffers_written(unit.stmt)}
+                )
+                continue
+            # try to join the open group
+            tile = unit.loops[0]
+            ok = tile.extent == group.tile_loop.extent
+            if ok:
+                reads = {
+                    _resolved(b, plan) for b in buffers_read(unit.stmt)
+                }
+                for b in reads & set(written):
+                    if not _reads_tile_local(unit, b, written[b], plan):
+                        ok = False
+                        break
+            if ok:
+                unit.loops.pop(0)
+                if tile.var != group.tile_loop.var:
+                    _rename_var(unit, tile.var, group.tile_loop.var)
+                group.units.append(unit)
+                group.label += f"+{_label(unit)}"
+                written.update(
+                    {_resolved(b, plan): unit
+                     for b in buffers_written(unit.stmt)}
+                )
+            else:
+                close()
+                tile = unit.loops.pop(0)
+                group = FusedGroup([unit], tile, _label(unit))
+                written.update(
+                    {_resolved(b, plan): unit
+                     for b in buffers_written(unit.stmt)}
+                )
+        if sec.comm:
+            close()
+            items.extend(sec.comm)
+    close()
+    return items
+
+
+def _label(unit: LoopUnit) -> str:
+    return f"{unit.tags.ensemble}.{unit.tags.kind}"
+
+
+def _rename_var(unit: LoopUnit, old: str, new: str) -> None:
+    unit.stmt = substitute_stmt(unit.stmt, {old: Var(new)})
+    for sp in unit.loops:
+        from repro.ir import substitute
+
+        sp.start = substitute(sp.start, {old: Var(new)})
+        sp.stop = substitute(sp.stop, {old: Var(new)})
+    if isinstance(unit.stmt, Gemm):
+        pass  # substitute_stmt already rewrote the slice expressions

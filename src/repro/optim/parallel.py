@@ -1,0 +1,41 @@
+"""Parallelization annotation (§5.4.3).
+
+The computation of an ensemble is data-parallel across batch items, and
+inside a batch iteration each loop tile is data-parallel too; Latte
+parallelizes the batch loop and, when present, the tile loop via loop
+collapsing, with a compact static interleaved schedule::
+
+    #pragma omp for collapse(2) schedule(static, 1)
+
+This pass attaches those annotations to the outermost loops of every
+schedule item. The C backend renders them verbatim; the Python backend's
+vectorized NumPy operations realize batch parallelism through the BLAS
+thread pool instead (see DESIGN.md), and the executor can additionally
+split vectorized steps across a thread pool along the batch axis.
+"""
+
+from __future__ import annotations
+
+from repro.ir import CommCall
+from repro.synthesis.units import FusedGroup
+
+SCHEDULE = "static, 1"
+
+
+def run(items) -> None:
+    """Annotate outer batch/tile loops with the parallel schedule."""
+    for item in items:
+        if isinstance(item, CommCall):
+            continue
+        assert isinstance(item, FusedGroup)
+        if item.tile_loop is not None:
+            item.tile_loop.parallel = True
+            item.tile_loop.collapse = 2
+            item.tile_loop.schedule = SCHEDULE
+            continue
+        for unit in item.units:
+            if unit.loops and unit.loops[0].role == "batch":
+                sp = unit.loops[0]
+                sp.parallel = True
+                sp.collapse = 2 if len(unit.loops) > 1 else 0
+                sp.schedule = SCHEDULE

@@ -1,0 +1,135 @@
+"""Loop tiling (§5.4.1).
+
+Latte tiles the synthesized loop nests so threads can compute output
+tiles in parallel while sharing cached values, and so fusion can operate
+tile-by-tile. We tile the second spatial dimension (the paper's ``y``)
+of rank-3 ``(channel, y, x)`` ensembles, splitting its loop into an outer
+tile-index loop and an inner intra-tile loop.
+
+Rather than fixing a tile *size* and letting trip counts differ across
+layers, the pass fixes the tile *count* per network: a pooling layer's
+half-height extent then automatically yields a double-size producer tile
+with an identical trip count — the tile-size doubling of Fig. 11 — which
+is precisely what makes the fusion pass's loops mergeable.
+
+Pattern-matched :class:`~repro.ir.Gemm` units are tiled by re-splitting
+the full slice their tiled variable became (the per-tile ``gemm`` calls
+of Fig. 10).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir import Assign, Const, Gemm, Index, SliceExpr, Var, add, mul
+from repro.synthesis.lower import dim_var
+from repro.synthesis.units import LoopSpec, LoopUnit, Section
+
+#: ensembles of this rank are tiled along this dimension index
+TILE_NDIM = 3
+TILE_DIM = 1
+
+#: do not split below this many rows per tile: in the NumPy backend a
+#: tile is an array-operation granule, and tiny tiles only add dispatch
+#: overhead (the paper's per-thread cache-blocking rationale does not
+#: apply to whole-array kernels)
+MIN_TILE_ROWS = 32
+
+
+def _tile_count(extent: int, requested: int,
+                min_rows: int = MIN_TILE_ROWS) -> int:
+    """Largest divisor of ``extent`` not exceeding ``requested`` while
+    keeping tiles at least ``min_rows`` tall."""
+    requested = min(requested, max(1, extent // min_rows))
+    for n in range(min(requested, extent), 0, -1):
+        if extent % n == 0:
+            return n
+    return 1
+
+
+def tile_unit(unit: LoopUnit, ens_shape, n_tiles: int,
+              min_rows: int = MIN_TILE_ROWS) -> LoopUnit:
+    """Tile one unit along the designated ensemble dimension (in place)."""
+    if len(ens_shape) != TILE_NDIM:
+        return unit
+    var = dim_var(unit.tags.ensemble, TILE_DIM)
+    if isinstance(unit.stmt, Gemm):
+        return _tile_gemm(unit, var, n_tiles, min_rows)
+    idx = next((i for i, sp in enumerate(unit.loops) if sp.var == var), None)
+    if idx is None:
+        return unit
+    sp = unit.loops[idx]
+    if not (isinstance(sp.start, Const) and sp.start.value == 0):
+        return unit
+    count = _tile_count(sp.extent, n_tiles, min_rows)
+    if count <= 1:
+        return unit
+    size = sp.extent // count
+    tv = f"{var}_t"
+    tile_spec = LoopSpec(tv, Const(0), Const(count), count, role="tile")
+    inner = LoopSpec(
+        var,
+        mul(size, Var(tv)),
+        mul(size, add(Var(tv), 1)),
+        size,
+        role="dim",
+        dim_index=sp.dim_index,
+    )
+    unit.loops[idx] = inner
+    unit.loops.insert(0, tile_spec)
+    return unit
+
+
+def _tile_gemm(unit: LoopUnit, var: str, n_tiles: int,
+               min_rows: int = MIN_TILE_ROWS) -> LoopUnit:
+    gemm: Gemm = unit.stmt
+    if var not in gemm.var_axes:
+        return unit
+    sp = gemm.var_loops[var]
+    count = _tile_count(sp.extent, n_tiles, min_rows)
+    if count <= 1:
+        return unit
+    size = sp.extent // count
+    tv = f"{var}_t"
+    new_slice = SliceExpr(mul(size, Var(tv)), mul(size, add(Var(tv), 1)))
+
+    refs = {"a": gemm.a, "b": gemm.b, "c": gemm.c}
+    for key, axis in gemm.var_axes[var]:
+        ref = refs[key]
+        indices = list(ref.indices)
+        indices[axis] = new_slice
+        refs[key] = Index(ref.buffer, tuple(indices))
+    gemm.a, gemm.b, gemm.c = refs["a"], refs["b"], refs["c"]
+    unit.loops.insert(
+        0, LoopSpec(tv, Const(0), Const(count), count, role="tile")
+    )
+    return unit
+
+
+def run(sections: List[Section], plan, n_tiles: int,
+        min_rows: int = MIN_TILE_ROWS) -> None:
+    """Tile every unit of every synthesized section.
+
+    The trip count is chosen once per network — the smallest layer's
+    achievable count bounds everyone — so that sub-sampling layers end up
+    with the *same number of larger tiles* (the producer-tile doubling of
+    Fig. 11) and fusion sees identical trip counts across layers.
+    """
+    extents = []
+    for sec in sections:
+        facts = plan.facts.get(sec.ensemble)
+        if facts is not None and len(facts.ensemble.shape) == TILE_NDIM:
+            extents.append(facts.ensemble.shape[TILE_DIM])
+    if not extents:
+        return
+    requested = min(
+        [n_tiles] + [max(1, e // min_rows) for e in extents]
+    )
+    if requested <= 1:
+        return
+    for sec in sections:
+        facts = plan.facts.get(sec.ensemble)
+        if facts is None:
+            continue
+        shape = facts.ensemble.shape
+        sec.units = [tile_unit(u, shape, requested, 1) for u in sec.units]

@@ -1,0 +1,49 @@
+"""Latte runtime: buffer allocation, execution, heterogeneous scheduling,
+and distributed data parallelism (§6)."""
+
+from repro.runtime.accelerator import (
+    ChunkAssignment,
+    DeviceSpec,
+    HeterogeneousScheduler,
+    calibrate_host_rate,
+    xeon_phi,
+)
+from repro.runtime.buffers import allocate
+from repro.runtime.distributed import (
+    ClusterSimulator,
+    CommPoint,
+    ComputeProfile,
+    MultiThreadTrainer,
+    scaling_efficiency,
+    strong_scaling,
+    weak_scaling,
+)
+from repro.runtime.executor import CompiledNet, ParamView
+from repro.runtime.netsim import (
+    NetworkModel,
+    cori_aries,
+    gigabit_ethernet,
+    infiniband_fdr,
+)
+
+__all__ = [
+    "ChunkAssignment",
+    "ClusterSimulator",
+    "CommPoint",
+    "CompiledNet",
+    "ComputeProfile",
+    "DeviceSpec",
+    "HeterogeneousScheduler",
+    "MultiThreadTrainer",
+    "NetworkModel",
+    "ParamView",
+    "allocate",
+    "calibrate_host_rate",
+    "cori_aries",
+    "gigabit_ethernet",
+    "infiniband_fdr",
+    "scaling_efficiency",
+    "strong_scaling",
+    "weak_scaling",
+    "xeon_phi",
+]

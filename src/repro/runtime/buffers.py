@@ -1,0 +1,74 @@
+"""Runtime buffer allocation from a compile-time plan.
+
+Materializes the :class:`~repro.synthesis.plan.BufferPlan`:
+
+* parameter fields are registered *by reference* — solver updates flow
+  through the user's arrays (and through any aliased neuron views created
+  by ``Ensemble.from_neurons``);
+* batched buffers get a leading batch axis, plus a leading time axis for
+  recurrent (time-unrolled) networks;
+* aliases become NumPy views of their base buffers, so e.g. an
+  ActivationEnsemble's "value" literally is its source's value array, and
+  a fully-connected layer's "inputs" is a 2-D reshape of the source's
+  activations — the shared memory regions of §5.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.synthesis.plan import BufferPlan, BufferSpec
+
+DTYPE = np.float32
+
+
+def allocate(plan: BufferPlan) -> Dict[str, np.ndarray]:
+    """Allocate/register all buffers; returns name → array."""
+    bufs: Dict[str, np.ndarray] = {}
+    deferred = []
+    batch, time = plan.batch_size, plan.time_steps
+
+    def lead_shape(spec: BufferSpec):
+        lead = ()
+        if spec.batched:
+            lead = (batch,)
+            if time > 1:
+                lead = (time, batch)
+        return lead
+
+    for spec in plan.buffers.values():
+        if spec.alias_of is not None:
+            deferred.append(spec)
+            continue
+        if spec.array is not None:
+            arr = spec.array
+            if arr.dtype != DTYPE:
+                raise TypeError(
+                    f"buffer {spec.name!r}: parameter arrays must be "
+                    f"float32, got {arr.dtype}"
+                )
+            bufs[spec.name] = arr
+        else:
+            bufs[spec.name] = np.zeros(lead_shape(spec) + spec.shape, DTYPE)
+
+    remaining = deferred
+    while remaining:
+        progressed = []
+        for spec in remaining:
+            base = bufs.get(spec.alias_of)
+            if base is None:
+                progressed.append(spec)
+                continue
+            if spec.alias_reshape is not None:
+                lead = base.shape[: len(lead_shape(spec))]
+                bufs[spec.name] = base.reshape(lead + spec.alias_reshape)
+            else:
+                bufs[spec.name] = base
+        if len(progressed) == len(remaining):  # pragma: no cover
+            raise ValueError(
+                f"unresolvable buffer aliases: {[s.name for s in remaining]}"
+            )
+        remaining = progressed
+    return bufs

@@ -1,0 +1,295 @@
+"""Distributed data parallelism (§5.3, §6, §7.2-7.3).
+
+Two components:
+
+* :class:`ClusterSimulator` — a discrete-event model of cluster-level
+  data parallelism. The compiler inserts an asynchronous gradient
+  reduction after each ensemble's backward section (§5.3); the simulator
+  replays exactly that schedule: compute advances along the profiled
+  backward timeline, each comm point enqueues an allreduce on the NIC
+  (serialized per node, overlapping subsequent compute), and the
+  iteration ends when both compute and the last reduction finish. This is
+  the substitution for the paper's MPI runs on Cori and the commodity
+  cluster (Figs. 18-19); the compute timeline is calibrated from the real
+  compiled network.
+
+* :class:`MultiThreadTrainer` — *real* multi-threaded data-parallel
+  training used for the Fig. 20 experiment. Worker threads run replicas
+  sharing the master's parameter arrays. With ``lossy=True`` they also
+  share gradient arrays and accumulate into them without synchronization
+  (genuine read-modify-write races — the paper's "threads update their
+  computed values in place", §3.1, after Project Adam); with
+  ``lossy=False`` each worker accumulates privately and gradients are
+  reduced under a lock (the "normal synchronized reduction").
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.runtime.netsim import NetworkModel
+
+
+# ---------------------------------------------------------------------------
+# Compute profiling
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CommPoint:
+    """One async-reduction insertion point on the backward timeline."""
+
+    #: fraction of total backward compute completed when this reduction
+    #: is issued (0..1, §5.3: issued as soon as the gradient is ready)
+    issue_fraction: float
+    grad_bytes: int
+    ensemble: str = ""
+
+
+@dataclass
+class ComputeProfile:
+    """Linear-in-batch model of one node's compute, plus comm points.
+
+    ``time(b) = base + per_image * b`` for each phase. The base term
+    captures fixed per-iteration overhead, which is what makes small
+    per-node batches less efficient (the Fig. 18 strong-scaling
+    efficiency drop: "Latte is less efficient on smaller batch sizes due
+    to the reduction in the amount of available parallelism").
+    """
+
+    forward_base: float
+    forward_per_image: float
+    backward_base: float
+    backward_per_image: float
+    comm_points: Tuple[CommPoint, ...]
+
+    def forward_time(self, batch: int) -> float:
+        return self.forward_base + self.forward_per_image * batch
+
+    def backward_time(self, batch: int) -> float:
+        return self.backward_base + self.backward_per_image * batch
+
+    @classmethod
+    def measure(cls, cnet, inputs: Dict[str, np.ndarray],
+                cnet_small=None, inputs_small=None,
+                repeats: int = 3) -> "ComputeProfile":
+        """Profile a compiled net (optionally two batch sizes for the
+        linear fit; with one size the base term is zero)."""
+        fwd_t, bwd_t, points = _profile_once(cnet, inputs, repeats)
+        b = cnet.batch_size
+        if cnet_small is not None:
+            fwd_s, bwd_s, _ = _profile_once(cnet_small, inputs_small, repeats)
+            bs = cnet_small.batch_size
+            f_per = max((fwd_t - fwd_s) / (b - bs), 1e-12)
+            b_per = max((bwd_t - bwd_s) / (b - bs), 1e-12)
+            f_base = max(fwd_t - f_per * b, 0.0)
+            b_base = max(bwd_t - b_per * b, 0.0)
+        else:
+            f_per, b_per = fwd_t / b, bwd_t / b
+            f_base = b_base = 0.0
+        return cls(f_base, f_per, b_base, b_per, tuple(points))
+
+
+def _profile_once(cnet, inputs, repeats):
+    for name, arr in inputs.items():
+        cnet.set_input(name, arr)
+    # warm up
+    cnet.forward()
+    cnet.backward()
+
+    fwd = 0.0
+    step_times: List[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        cnet.forward()
+        fwd += time.perf_counter() - t0
+    fwd /= repeats
+
+    # per-step backward timing, accumulating compute between comm points
+    cnet._zero_grads()
+    segments: List[Tuple[float, Optional[object]]] = []
+    for step in cnet.compiled.backward:
+        if step.kind == "comm":
+            segments.append((0.0, step.comm))
+            continue
+        t0 = time.perf_counter()
+        step.fn(cnet.buffers, cnet)
+        segments.append((time.perf_counter() - t0, None))
+
+    total = sum(t for t, _ in segments) or 1e-9
+    points: List[CommPoint] = []
+    done = 0.0
+    for t, comm in segments:
+        done += t
+        if comm is not None:
+            nbytes = sum(cnet.buffers[g].nbytes for g in comm.params)
+            points.append(CommPoint(done / total, nbytes, comm.ensemble))
+    return fwd, total, points
+
+
+# ---------------------------------------------------------------------------
+# Cluster simulation
+# ---------------------------------------------------------------------------
+
+
+class ClusterSimulator:
+    """Discrete-event model of overlapped async gradient summation."""
+
+    def __init__(self, profile: ComputeProfile, network: NetworkModel,
+                 n_nodes: int):
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self.profile = profile
+        self.network = network
+        self.n_nodes = n_nodes
+
+    def iteration_time(self, batch_per_node: int) -> float:
+        """Virtual seconds for one data-parallel training iteration."""
+        p = self.profile
+        t = p.forward_time(batch_per_node)
+        bwd = p.backward_time(batch_per_node)
+        nic_free = t
+        last_comm = t
+        for point in p.comm_points:
+            issue = t + point.issue_fraction * bwd
+            start = max(issue, nic_free)
+            finish = start + self.network.allreduce_time(
+                point.grad_bytes, self.n_nodes
+            )
+            nic_free = finish
+            last_comm = finish
+        compute_done = t + bwd
+        return max(compute_done, last_comm)
+
+    def throughput(self, batch_per_node: int) -> float:
+        """Sustained images/second across the cluster."""
+        return (
+            self.n_nodes * batch_per_node / self.iteration_time(batch_per_node)
+        )
+
+
+def strong_scaling(profile: ComputeProfile, network: NetworkModel,
+                   total_batch: int, nodes: Sequence[int]) -> Dict[int, float]:
+    """Fig. 18: fixed global batch evenly partitioned across nodes.
+
+    Returns node count → throughput (images/s)."""
+    out = {}
+    for n in nodes:
+        if total_batch % n:
+            raise ValueError(f"{total_batch} does not divide across {n} nodes")
+        sim = ClusterSimulator(profile, network, n)
+        out[n] = sim.throughput(total_batch // n)
+    return out
+
+
+def weak_scaling(profile: ComputeProfile, network: NetworkModel,
+                 batch_per_node: int, nodes: Sequence[int]) -> Dict[int, float]:
+    """Fig. 19: fixed per-node batch; ideal is linear in node count."""
+    return {
+        n: ClusterSimulator(profile, network, n).throughput(batch_per_node)
+        for n in nodes
+    }
+
+
+def scaling_efficiency(throughputs: Dict[int, float],
+                       weak: bool = False) -> Dict[int, float]:
+    """Efficiency relative to linear scaling from the smallest point."""
+    n0 = min(throughputs)
+    base = throughputs[n0] / n0
+    return {n: tp / (n * base) for n, tp in throughputs.items()}
+
+
+# ---------------------------------------------------------------------------
+# Real multi-threaded training (Fig. 20)
+# ---------------------------------------------------------------------------
+
+
+class MultiThreadTrainer:
+    """Data-parallel training across threads sharing parameter memory.
+
+    ``build_fn()`` must construct an identical CompiledNet each call
+    (same seeds/architecture). The master's parameter arrays are shared
+    into every replica's buffer table; gradient arrays are shared too in
+    lossy mode, kept private and lock-reduced otherwise.
+    """
+
+    def __init__(self, build_fn: Callable[[], object], n_workers: int,
+                 lossy: bool):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.lossy = lossy
+        self.n_workers = n_workers
+        self.master = build_fn()
+        self.replicas = [self.master] + [
+            build_fn() for _ in range(n_workers - 1)
+        ]
+        self._lock = threading.Lock()
+        master_params = {p.key: p for p in self.master.parameters()}
+        for rep in self.replicas[1:]:
+            for p in rep.parameters():
+                m = master_params[p.key]
+                # share parameter values by replacing the buffer-table
+                # entries the generated code reads
+                rep.buffers[f"{p.ensemble}_{p.name}"] = m.value
+                p.value = m.value
+                if lossy:
+                    grad_name = _grad_buf_name(rep, p)
+                    rep.buffers[grad_name] = m.grad
+                    p.grad = m.grad
+        self._pool = ThreadPoolExecutor(max_workers=n_workers)
+
+    def train_epoch(self, solver, data: np.ndarray, labels: np.ndarray,
+                    data_name: str = "data", label_name: str = "label",
+                    rng=None) -> float:
+        """One epoch: each worker consumes its own mini-batches; one
+        solver update per round of worker batches (gradient summation
+        semantics, §5.3). Returns the mean loss."""
+        rng = rng or np.random.default_rng(0)
+        b = self.master.batch_size
+        idx = rng.permutation(len(data))
+        group = b * self.n_workers
+        losses: List[float] = []
+        for start in range(0, len(idx) - group + 1, group):
+            batch_idx = [
+                idx[start + k * b : start + (k + 1) * b]
+                for k in range(self.n_workers)
+            ]
+            self.master.clear_param_grads()
+            if not self.lossy:
+                for rep in self.replicas[1:]:
+                    rep.clear_param_grads()
+
+            def work(k):
+                rep = self.replicas[k]
+                sel = batch_idx[k]
+                loss = rep.forward(**{data_name: data[sel],
+                                      label_name: labels[sel]})
+                rep.backward()
+                return loss
+
+            futs = [self._pool.submit(work, k) for k in range(self.n_workers)]
+            losses.extend(f.result() for f in futs)
+            if not self.lossy:
+                with self._lock:
+                    master_params = {p.key: p for p in self.master.parameters()}
+                    for rep in self.replicas[1:]:
+                        for p in rep.parameters():
+                            master_params[p.key].grad += p.grad
+            solver.update(self.master)
+        return float(np.mean(losses)) if losses else 0.0
+
+    def close(self):
+        self._pool.shutdown(wait=True)
+
+
+def _grad_buf_name(cnet, p) -> str:
+    for info in cnet.plan.params:
+        if info.ensemble == p.ensemble and info.name == p.name:
+            return info.grad_buf
+    raise KeyError(p.key)

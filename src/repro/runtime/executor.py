@@ -1,0 +1,208 @@
+"""The compiled network: buffers + executable steps (§3.4's ``init``).
+
+``CompiledNet`` owns the allocated buffer table and the compiled
+forward/backward step lists. It
+
+* feeds input data into DataEnsemble value buffers,
+* runs forward steps (per time step for recurrent nets), collecting loss
+  values recorded by loss ensembles,
+* zeroes gradient buffers and runs backward steps in reverse time,
+* fires the per-ensemble asynchronous gradient-reduction hook at each
+  ``CommCall`` (a no-op unless a distributed runtime is attached, §6),
+* exposes parameter/gradient views to solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.ensemble import DataEnsemble
+from repro.runtime.buffers import allocate
+
+#: gradient-role buffers zeroed before every backward pass
+_GRAD_ROLES = ("grad", "grad_input", "padded_grad")
+
+
+@dataclass
+class ParamView:
+    """A solver-facing view of one learnable parameter."""
+
+    ensemble: str
+    name: str
+    value: np.ndarray
+    grad: np.ndarray
+    lr_mult: float
+
+    @property
+    def key(self) -> str:
+        return f"{self.ensemble}.{self.name}"
+
+
+class CompiledNet:
+    """An initialized, executable network."""
+
+    def __init__(self, net, plan, compiled, options):
+        self.net = net
+        self.plan = plan
+        self.compiled = compiled
+        self.options = options
+        self.buffers = allocate(plan)
+        self.batch_size = net.batch_size
+        self.time_steps = net.time_steps
+        self.training = True
+        #: current time step, exposed to extern closures so loss and
+        #: normalization layers can stash per-step state
+        self.current_t = 0
+        #: set by the distributed runtime: fn(ensemble_name, [grad arrays])
+        self.comm_hook: Optional[Callable] = None
+        self._losses: Dict[str, float] = {}
+        self._data_names = [
+            e.name for e in net.ensembles.values() if isinstance(e, DataEnsemble)
+        ]
+        self._params = [
+            ParamView(
+                p.ensemble,
+                p.name,
+                self.buffers[p.value_buf],
+                self.buffers[p.grad_buf],
+                p.lr_mult,
+            )
+            for p in plan.params
+        ]
+        self._zeros_cache: Dict[str, np.ndarray] = {}
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def source(self) -> str:
+        """Generated Python source of the compiled program."""
+        return self.compiled.source
+
+    @property
+    def c_source(self) -> str:
+        """C++/OpenMP rendering of the optimized schedule (Figs. 9-12)."""
+        return self.compiled.c_source
+
+    def parameters(self) -> List[ParamView]:
+        return list(self._params)
+
+    def value(self, ens_name: str) -> np.ndarray:
+        """The value array of an ensemble (batch-leading; time-leading
+        for recurrent nets)."""
+        return self.buffers[f"{ens_name}_value"]
+
+    def grad(self, ens_name: str) -> np.ndarray:
+        return self.buffers[f"{ens_name}_grad"]
+
+    @property
+    def loss(self) -> float:
+        """Sum of all loss ensembles' values from the last forward."""
+        return sum(self._losses.values())
+
+    def record_loss(self, name: str, value: float) -> None:
+        self._losses[name] = self._losses.get(name, 0.0) + value
+
+    # -- data feeding --------------------------------------------------------
+
+    def set_input(self, ens_name: str, array: np.ndarray) -> None:
+        """Copy a batch of inputs into a DataEnsemble's value buffer.
+
+        For recurrent nets the array must carry a leading time axis.
+        """
+        if ens_name not in self._data_names:
+            raise KeyError(f"{ens_name!r} is not a DataEnsemble")
+        buf = self.buffers[f"{ens_name}_value"]
+        array = np.asarray(array, dtype=buf.dtype)
+        if array.shape != buf.shape:
+            raise ValueError(
+                f"input for {ens_name!r} has shape {array.shape}, "
+                f"expected {buf.shape}"
+            )
+        buf[...] = array
+
+    # -- execution ------------------------------------------------------------
+
+    def _views(self, t: int, recurrent_reads: frozenset) -> Dict[str, np.ndarray]:
+        if self.time_steps == 1:
+            if not recurrent_reads:
+                return self.buffers
+            # T == 1: recurrent reads see the zero initial state
+            view = dict(self.buffers)
+            for name in recurrent_reads:
+                z = self._zeros_cache.get(name)
+                if z is None:
+                    z = np.zeros_like(self.buffers[name])
+                    self._zeros_cache[name] = z
+                else:
+                    z[...] = 0
+                view[name] = z
+            return view
+        view: Dict[str, np.ndarray] = {}
+        for name, arr in self.buffers.items():
+            spec = self.plan.buffers.get(name)
+            if spec is not None and spec.array is not None:
+                view[name] = arr  # untimed parameter field
+                continue
+            if name in recurrent_reads:
+                if t == 0:
+                    # fresh zero state each hand-out: backward scatters
+                    # into this view (the discarded gradient to t = -1)
+                    z = self._zeros_cache.get(name)
+                    if z is None:
+                        z = np.zeros_like(arr[0])
+                        self._zeros_cache[name] = z
+                    else:
+                        z[...] = 0
+                    view[name] = z
+                else:
+                    view[name] = arr[t - 1]
+            else:
+                view[name] = arr[t]
+        return view
+
+    def forward(self, **inputs) -> float:
+        """Run forward propagation; returns the loss (0 if no loss layer).
+
+        Keyword arguments feed DataEnsembles by name, e.g.
+        ``cnet.forward(data=x, label=y)``.
+        """
+        for name, arr in inputs.items():
+            self.set_input(name, arr)
+        self._losses.clear()
+        for t in range(self.time_steps):
+            self.current_t = t
+            for step in self.compiled.forward:
+                if step.kind == "comm":
+                    continue
+                step.fn(self._views(t, step.recurrent_reads), self)
+        return self.loss
+
+    def backward(self) -> None:
+        """Run back-propagation (call after :meth:`forward`)."""
+        self._zero_grads()
+        for t in reversed(range(self.time_steps)):
+            self.current_t = t
+            for step in self.compiled.backward:
+                if step.kind == "comm":
+                    if t == 0 and self.comm_hook is not None:
+                        grads = [self.buffers[g] for g in step.comm.params]
+                        self.comm_hook(step.comm.ensemble, grads)
+                    continue
+                step.fn(self._views(t, step.recurrent_reads), self)
+
+    def _zero_grads(self) -> None:
+        for name, spec in self.plan.buffers.items():
+            if (
+                spec.role in _GRAD_ROLES
+                and spec.alias_of is None
+                and spec.needs_zero
+            ):
+                self.buffers[name][...] = 0
+
+    def clear_param_grads(self) -> None:
+        """Zero parameter gradients (called by solvers each iteration)."""
+        for p in self._params:
+            p.grad[...] = 0

@@ -1,0 +1,55 @@
+"""Interconnect cost models for the cluster simulator (§6, §7.2).
+
+Substitutes for the paper's MPI fabrics: the Cori Cray Aries dragonfly
+and a commodity InfiniBand cluster. The ring-allreduce cost model is the
+standard ``2(N-1)/N · bytes/bw + 2(N-1)·latency`` expression for
+bandwidth-optimal allreduce, which also models MPI_Iallreduce well for
+the large messages gradient summation produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Point-to-point link model."""
+
+    name: str
+    latency_s: float  # per-hop software+wire latency
+    bandwidth_Bps: float  # per-link bandwidth, bytes/second
+
+    def allreduce_time(self, n_bytes: int, n_nodes: int) -> float:
+        """Ring allreduce of ``n_bytes`` across ``n_nodes``."""
+        if n_nodes <= 1 or n_bytes <= 0:
+            return 0.0
+        steps = 2 * (n_nodes - 1)
+        volume = 2 * (n_nodes - 1) / n_nodes * n_bytes
+        return steps * self.latency_s + volume / self.bandwidth_Bps
+
+    def broadcast_time(self, n_bytes: int, n_nodes: int) -> float:
+        """Pipelined binomial broadcast (used for initial weights)."""
+        if n_nodes <= 1 or n_bytes <= 0:
+            return 0.0
+        import math
+
+        hops = math.ceil(math.log2(n_nodes))
+        return hops * (self.latency_s + n_bytes / self.bandwidth_Bps)
+
+
+def cori_aries() -> NetworkModel:
+    """Cray Aries dragonfly (Cori Phase 1): ~8 GB/s injection, ~1.3 µs."""
+    return NetworkModel("cori-aries", latency_s=1.3e-6,
+                        bandwidth_Bps=8.0e9)
+
+
+def infiniband_fdr() -> NetworkModel:
+    """Commodity FDR InfiniBand: ~6 GB/s, ~1.7 µs."""
+    return NetworkModel("infiniband-fdr", latency_s=1.7e-6,
+                        bandwidth_Bps=6.0e9)
+
+
+def gigabit_ethernet() -> NetworkModel:
+    """1 GbE reference point (for ablations)."""
+    return NetworkModel("1gbe", latency_s=50e-6, bandwidth_Bps=1.25e8)

@@ -1,0 +1,31 @@
+"""Solvers: training-loop coordination and parameter updates (§2.5)."""
+
+from repro.solvers.base import (
+    AdaDelta,
+    AdaGrad,
+    Adam,
+    Nesterov,
+    RMSProp,
+    SGD,
+    Solver,
+    SolverParameters,
+)
+from repro.solvers.policies import LRPolicy, MomPolicy
+from repro.solvers.solve import Dataset, TrainHistory, evaluate, solve
+
+__all__ = [
+    "AdaDelta",
+    "AdaGrad",
+    "Adam",
+    "Dataset",
+    "LRPolicy",
+    "MomPolicy",
+    "Nesterov",
+    "RMSProp",
+    "SGD",
+    "Solver",
+    "SolverParameters",
+    "TrainHistory",
+    "evaluate",
+    "solve",
+]

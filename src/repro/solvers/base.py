@@ -1,0 +1,164 @@
+"""Solver interface (§2.5, §3.4).
+
+A solver coordinates forward, backward and weight-update phases and
+"defines an ``update`` method responsible for updating the parameters
+with respect to the gradient". Solver state (momentum buffers etc.) is
+keyed per parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.solvers.policies import LRPolicy, MomPolicy
+
+
+@dataclass
+class SolverParameters:
+    """Hyper-parameters shared by every solver (paper Fig. 7)."""
+
+    lr_policy: object = field(default_factory=lambda: LRPolicy.Fixed(0.01))
+    mom_policy: object = field(default_factory=lambda: MomPolicy.Fixed(0.0))
+    max_epoch: int = 1
+    #: L2 regularization coefficient (weight decay)
+    regu_coef: float = 0.0
+
+
+class Solver:
+    """Base class. Subclasses implement :meth:`_delta` returning the
+    update step for one parameter (to be *subtracted* from the value)."""
+
+    def __init__(self, params: Optional[SolverParameters] = None):
+        self.params = params or SolverParameters()
+        self.state: Dict[str, dict] = {}
+        self.iteration = 0
+
+    def update(self, cnet) -> None:
+        """Apply one update step to every parameter of ``cnet``.
+
+        Regularization is applied to weight-like parameters only (Caffe
+        convention: biases — ``lr_mult`` 2.0 in the standard library —
+        are not decayed)."""
+        it = self.iteration
+        lr = self.params.lr_policy(it)
+        mom = self.params.mom_policy(it)
+        regu = self.params.regu_coef
+        for p in cnet.parameters():
+            grad = p.grad
+            if regu and not p.name.startswith("bias"):
+                grad = grad + regu * p.value
+            st = self.state.setdefault(p.key, {})
+            delta = self._delta(st, grad, lr * p.lr_mult, mom)
+            p.value -= delta.astype(p.value.dtype, copy=False)
+        self.iteration += 1
+
+    def _delta(self, st: dict, grad: np.ndarray, lr: float,
+               mom: float) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Solver):
+    """Stochastic gradient descent with classical momentum."""
+
+    def _delta(self, st, grad, lr, mom):
+        hist = st.get("hist")
+        if hist is None:
+            hist = st["hist"] = np.zeros_like(grad)
+        hist *= mom
+        hist += lr * grad
+        return hist
+
+
+class Nesterov(Solver):
+    """SGD with Nesterov accelerated momentum."""
+
+    def _delta(self, st, grad, lr, mom):
+        hist = st.get("hist")
+        if hist is None:
+            hist = st["hist"] = np.zeros_like(grad)
+        prev = hist.copy()
+        hist *= mom
+        hist += lr * grad
+        return (1 + mom) * hist - mom * prev
+
+
+class AdaGrad(Solver):
+    """Adaptive subgradient method (Duchi et al., cited as [20])."""
+
+    eps = 1e-8
+
+    def _delta(self, st, grad, lr, mom):
+        acc = st.get("acc")
+        if acc is None:
+            acc = st["acc"] = np.zeros_like(grad)
+        acc += grad * grad
+        return lr * grad / (np.sqrt(acc) + self.eps)
+
+
+class RMSProp(Solver):
+    """RMSProp (Tieleman & Hinton, cited as [45])."""
+
+    def __init__(self, params=None, decay: float = 0.9, eps: float = 1e-8):
+        super().__init__(params)
+        self.decay = decay
+        self.eps = eps
+
+    def _delta(self, st, grad, lr, mom):
+        acc = st.get("acc")
+        if acc is None:
+            acc = st["acc"] = np.zeros_like(grad)
+        acc *= self.decay
+        acc += (1 - self.decay) * grad * grad
+        return lr * grad / (np.sqrt(acc) + self.eps)
+
+
+class AdaDelta(Solver):
+    """AdaDelta (Zeiler): parameter-free step-size adaptation."""
+
+    def __init__(self, params=None, rho: float = 0.95, eps: float = 1e-6):
+        super().__init__(params)
+        self.rho = rho
+        self.eps = eps
+
+    def _delta(self, st, grad, lr, mom):
+        if "acc_g" not in st:
+            st["acc_g"] = np.zeros_like(grad)
+            st["acc_d"] = np.zeros_like(grad)
+        acc_g, acc_d = st["acc_g"], st["acc_d"]
+        acc_g *= self.rho
+        acc_g += (1 - self.rho) * grad * grad
+        delta = (
+            np.sqrt(acc_d + self.eps) / np.sqrt(acc_g + self.eps)
+        ) * grad
+        acc_d *= self.rho
+        acc_d += (1 - self.rho) * delta * delta
+        return lr * delta
+
+
+class Adam(Solver):
+    """Adam (a post-paper extension; widely used with the same
+    interface)."""
+
+    def __init__(self, params=None, beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8):
+        super().__init__(params)
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+
+    def _delta(self, st, grad, lr, mom):
+        if "m" not in st:
+            st["m"] = np.zeros_like(grad)
+            st["v"] = np.zeros_like(grad)
+            st["t"] = 0
+        st["t"] += 1
+        t = st["t"]
+        m, v = st["m"], st["v"]
+        m *= self.beta1
+        m += (1 - self.beta1) * grad
+        v *= self.beta2
+        v += (1 - self.beta2) * grad * grad
+        mhat = m / (1 - self.beta1**t)
+        vhat = v / (1 - self.beta2**t)
+        return lr * mhat / (np.sqrt(vhat) + self.eps)

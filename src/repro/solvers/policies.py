@@ -1,0 +1,81 @@
+"""Learning-rate and momentum policies (the paper's Fig. 7 uses
+``LRPolicy.Inv(0.01, 0.0001, 0.75)`` and ``MomPolicy.Fixed(0.9)``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class LRPolicy:
+    """Namespace of learning-rate schedules; each is callable on the
+    iteration number."""
+
+    @dataclass
+    class Fixed:
+        base_lr: float
+
+        def __call__(self, it: int) -> float:
+            return self.base_lr
+
+    @dataclass
+    class Inv:
+        """``base_lr * (1 + gamma * it) ** -power`` (Caffe's ``inv``)."""
+
+        base_lr: float
+        gamma: float
+        power: float
+
+        def __call__(self, it: int) -> float:
+            return self.base_lr * (1.0 + self.gamma * it) ** (-self.power)
+
+    @dataclass
+    class Step:
+        """Drop by ``gamma`` every ``step_size`` iterations."""
+
+        base_lr: float
+        gamma: float
+        step_size: int
+
+        def __call__(self, it: int) -> float:
+            return self.base_lr * self.gamma ** (it // self.step_size)
+
+    @dataclass
+    class Exp:
+        base_lr: float
+        gamma: float
+
+        def __call__(self, it: int) -> float:
+            return self.base_lr * self.gamma**it
+
+    @dataclass
+    class Poly:
+        base_lr: float
+        power: float
+        max_iter: int
+
+        def __call__(self, it: int) -> float:
+            frac = min(it, self.max_iter) / self.max_iter
+            return self.base_lr * (1.0 - frac) ** self.power
+
+
+class MomPolicy:
+    """Namespace of momentum schedules."""
+
+    @dataclass
+    class Fixed:
+        momentum: float
+
+        def __call__(self, it: int) -> float:
+            return self.momentum
+
+    @dataclass
+    class Linear:
+        """Ramp from ``start`` to ``end`` over ``saturate`` iterations."""
+
+        start: float
+        end: float
+        saturate: int
+
+        def __call__(self, it: int) -> float:
+            frac = min(it, self.saturate) / max(self.saturate, 1)
+            return self.start + (self.end - self.start) * frac

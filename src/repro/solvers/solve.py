@@ -1,0 +1,105 @@
+"""The training loop — the paper's ``solve(solver, net)`` (Fig. 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.layers.metrics import top1_accuracy
+from repro.utils.rng import get_rng
+
+
+@dataclass
+class Dataset:
+    """A labeled in-memory dataset (replaces the paper's HDF5 files)."""
+
+    data: np.ndarray  # (N, *item_shape)
+    labels: np.ndarray  # (N,) or (N, 1)
+
+    def __post_init__(self):
+        self.labels = np.asarray(self.labels).reshape(len(self.data), 1)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch training record returned by :func:`solve`."""
+
+    losses: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    test_accuracy: List[float] = field(default_factory=list)
+
+
+def _batches(n: int, batch_size: int, rng, shuffle: bool):
+    idx = np.arange(n)
+    if shuffle:
+        rng.shuffle(idx)
+    for start in range(0, n - batch_size + 1, batch_size):
+        yield idx[start : start + batch_size]
+
+
+def evaluate(cnet, dataset: Dataset, output_ens: str,
+             data_name: str = "data", label_name: str = "label") -> float:
+    """Top-1 accuracy of ``cnet`` on ``dataset`` (inference mode)."""
+    was_training = cnet.training
+    cnet.training = False
+    correct, total = 0.0, 0
+    try:
+        for sel in _batches(len(dataset), cnet.batch_size, get_rng(), False):
+            cnet.forward(**{data_name: dataset.data[sel],
+                            label_name: dataset.labels[sel]})
+            scores = cnet.value(output_ens)
+            correct += top1_accuracy(scores, dataset.labels[sel]) * len(sel)
+            total += len(sel)
+    finally:
+        cnet.training = was_training
+    return correct / max(total, 1)
+
+
+def solve(
+    solver,
+    cnet,
+    train: Dataset,
+    test: Optional[Dataset] = None,
+    output_ens: Optional[str] = None,
+    data_name: str = "data",
+    label_name: str = "label",
+    epochs: Optional[int] = None,
+    shuffle: bool = True,
+    rng=None,
+) -> TrainHistory:
+    """Train ``cnet`` on ``train`` with ``solver``.
+
+    Runs ``epochs`` (default ``solver.params.max_epoch``) passes of
+    forward → backward → update over shuffled mini-batches, optionally
+    evaluating top-1 accuracy on ``test`` after each epoch when
+    ``output_ens`` names the score-producing ensemble.
+    """
+    rng = rng or get_rng()
+    epochs = epochs if epochs is not None else solver.params.max_epoch
+    hist = TrainHistory()
+    cnet.training = True
+    for _epoch in range(epochs):
+        epoch_loss, n_batches = 0.0, 0
+        for sel in _batches(len(train), cnet.batch_size, rng, shuffle):
+            loss = cnet.forward(**{data_name: train.data[sel],
+                                   label_name: train.labels[sel]})
+            cnet.clear_param_grads()
+            cnet.backward()
+            solver.update(cnet)
+            epoch_loss += loss
+            n_batches += 1
+        hist.losses.append(epoch_loss / max(n_batches, 1))
+        if output_ens is not None:
+            hist.train_accuracy.append(
+                evaluate(cnet, train, output_ens, data_name, label_name)
+            )
+            if test is not None:
+                hist.test_accuracy.append(
+                    evaluate(cnet, test, output_ens, data_name, label_name)
+                )
+    return hist

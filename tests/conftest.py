@@ -1,0 +1,35 @@
+"""Shared fixtures for the Latte reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import seed_all
+
+
+@pytest.fixture(autouse=True)
+def _deterministic():
+    """Every test starts from the same library RNG state."""
+    seed_all(0xC0FFEE)
+    yield
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+def run_backward_seeded(cnet, ens_name, grad):
+    """Seed an ensemble's gradient and run the backward steps directly
+    (bypassing loss layers) — shared helper for layer-level tests."""
+    cnet._zero_grads()
+    cnet.grad(ens_name)[...] = grad
+    for step in cnet.compiled.backward:
+        if step.kind != "comm":
+            step.fn(cnet.buffers, cnet)
+
+
+@pytest.fixture
+def backward_seeded():
+    return run_backward_seeded

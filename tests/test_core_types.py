@@ -1,0 +1,251 @@
+"""Tests for the DSL core: Neuron metaclass, Ensemble construction
+(including the paper-faithful alias analysis of ``from_neurons``),
+connections, and Net."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    VEC,
+    ActivationEnsemble,
+    DataEnsemble,
+    Dim,
+    Ensemble,
+    Field,
+    FieldBinding,
+    Net,
+    Neuron,
+    Param,
+    all_to_all,
+    one_to_one,
+)
+from repro.layers.neurons import ReLUNeuron, WeightedNeuron
+
+
+class TestNeuronMeta:
+    def test_fields_collected_in_order(self):
+        assert list(WeightedNeuron.fields) == [
+            "weights", "grad_weights", "bias", "grad_bias",
+        ]
+
+    def test_positional_init(self):
+        w = np.zeros(3, np.float32)
+        n = WeightedNeuron(w, w, w, w)
+        assert n.weights is w
+
+    def test_too_many_args(self):
+        w = np.zeros(3, np.float32)
+        with pytest.raises(TypeError):
+            WeightedNeuron(w, w, w, w, w)
+
+    def test_unknown_kwarg(self):
+        with pytest.raises(TypeError):
+            WeightedNeuron(bogus=1)
+
+    def test_cannot_redeclare_builtin_field(self):
+        with pytest.raises(TypeError, match="built-in"):
+            class Bad(Neuron):
+                value = Field()
+
+    def test_has_backward(self):
+        assert WeightedNeuron.has_backward()
+
+        class FwdOnly(Neuron):
+            def forward(self):
+                self.value = 0.0
+
+        assert not FwdOnly.has_backward()
+
+    def test_fields_inherited(self):
+        class Sub(WeightedNeuron):
+            extra = Field()
+
+        assert set(Sub.fields) == {"weights", "grad_weights", "bias",
+                                   "grad_bias", "extra"}
+
+
+class TestFieldBinding:
+    def test_pattern_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            FieldBinding(np.zeros((2, 3), np.float32), (VEC,))
+
+    def test_shared_dims(self):
+        b = FieldBinding(np.zeros((9, 4), np.float32), (VEC, Dim(0)))
+        assert b.shared_dims(3) == frozenset({1, 2})
+        assert b.vec_axes == (0,)
+
+
+class TestFromNeurons:
+    def _neurons(self, n_in=6, n_out=4):
+        w = np.arange(n_in * n_out, dtype=np.float32).reshape(n_in, n_out)
+        gw = np.zeros_like(w)
+        b = np.zeros((1, n_out), np.float32)
+        gb = np.zeros_like(b)
+        return w, np.array(
+            [WeightedNeuron(w[:, i], gw[:, i], b[:, i], gb[:, i])
+             for i in range(n_out)],
+            dtype=object,
+        )
+
+    def test_column_views_recover_base(self):
+        net = Net(2)
+        w, neurons = self._neurons()
+        ens = Ensemble.from_neurons(net, "fc", neurons,
+                                    params=[Param("weights")])
+        binding = ens.field_bindings["weights"]
+        assert np.shares_memory(binding.array, w)
+        np.testing.assert_array_equal(binding.array, w)
+        assert binding.pattern == (VEC, Dim(0))
+
+    def test_updates_visible_through_views(self):
+        net = Net(2)
+        w, neurons = self._neurons()
+        ens = Ensemble.from_neurons(net, "fc", neurons)
+        ens.field_bindings["weights"].array[0, 2] = 99.0
+        assert neurons[2].weights[0] == 99.0
+
+    def test_fully_shared_field(self):
+        shared = np.ones(5, np.float32)
+
+        class SharedNeuron(Neuron):
+            w = Field()
+
+        net = Net(2)
+        neurons = np.array([SharedNeuron(shared) for _ in range(4)],
+                           dtype=object)
+        ens = Ensemble.from_neurons(net, "s", neurons)
+        binding = ens.field_bindings["w"]
+        assert binding.array is shared
+        assert binding.pattern == (VEC,)
+
+    def test_independent_arrays_are_stacked(self):
+        class IndepNeuron(Neuron):
+            w = Field()
+
+        net = Net(2)
+        neurons = np.array(
+            [IndepNeuron(np.full(3, i, np.float32)) for i in range(4)],
+            dtype=object,
+        )
+        ens = Ensemble.from_neurons(net, "s", neurons)
+        binding = ens.field_bindings["w"]
+        assert binding.array.shape == (3, 4)
+        assert binding.pattern == (VEC, Dim(0))
+        np.testing.assert_array_equal(binding.array[0], [0, 1, 2, 3])
+
+    def test_mixed_types_rejected(self):
+        net = Net(2)
+        neurons = np.array([ReLUNeuron(), WeightedNeuron()], dtype=object)
+        with pytest.raises(TypeError, match="same type"):
+            Ensemble.from_neurons(net, "bad", neurons)
+
+    def test_empty_rejected(self):
+        net = Net(2)
+        with pytest.raises(ValueError):
+            Ensemble.from_neurons(net, "bad", np.array([], dtype=object))
+
+
+class TestEnsembleValidation:
+    def test_missing_field_binding(self):
+        net = Net(2)
+        with pytest.raises(ValueError, match="missing bindings"):
+            Ensemble(net, "e", WeightedNeuron, (4,))
+
+    def test_unknown_field_binding(self):
+        net = Net(2)
+        with pytest.raises(ValueError, match="not declared"):
+            Ensemble(net, "e", ReLUNeuron, (4,), fields={
+                "bogus": FieldBinding(np.zeros(1, np.float32), (VEC,))
+            })
+
+    def test_param_requires_grad_binding(self):
+        net = Net(2)
+
+        class OneField(Neuron):
+            w = Field()
+
+        with pytest.raises(ValueError, match="grad"):
+            Ensemble(net, "e", OneField, (4,), fields={
+                "w": FieldBinding(np.zeros((1, 4), np.float32),
+                                  (VEC, Dim(0)))
+            }, params=[Param("w")])
+
+    def test_bad_shape(self):
+        net = Net(2)
+        with pytest.raises(ValueError, match="positive"):
+            Ensemble(net, "e", ReLUNeuron, (0,))
+
+    def test_bad_name(self):
+        net = Net(2)
+        with pytest.raises(ValueError, match="identifier"):
+            DataEnsemble(net, "bad name", (4,))
+
+    def test_len_is_size(self):
+        net = Net(2)
+        ens = DataEnsemble(net, "d", (3, 4))
+        assert len(ens) == 12
+
+
+class TestNet:
+    def test_duplicate_names(self):
+        net = Net(2)
+        DataEnsemble(net, "d", (4,))
+        with pytest.raises(ValueError, match="duplicate"):
+            DataEnsemble(net, "d", (4,))
+
+    def test_topological_order(self):
+        net = Net(2)
+        a = DataEnsemble(net, "a", (4,))
+        b = Ensemble(net, "b", ReLUNeuron, (4,))
+        c = Ensemble(net, "c", ReLUNeuron, (4,))
+        net.add_connections(b, c, one_to_one(1))
+        net.add_connections(a, b, one_to_one(1))
+        order = [e.name for e in net.topological_order()]
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_cycle_detected(self):
+        net = Net(2)
+        a = Ensemble(net, "a", ReLUNeuron, (4,))
+        b = Ensemble(net, "b", ReLUNeuron, (4,))
+        net.add_connections(a, b, one_to_one(1))
+        net.add_connections(b, a, one_to_one(1))
+        with pytest.raises(ValueError, match="cycle"):
+            net.topological_order()
+
+    def test_recurrent_edge_breaks_cycle(self):
+        net = Net(2, time_steps=2)
+        a = Ensemble(net, "a", ReLUNeuron, (4,))
+        b = Ensemble(net, "b", ReLUNeuron, (4,))
+        net.add_connections(a, b, one_to_one(1))
+        net.add_connections(b, a, one_to_one(1), recurrent=True)
+        assert [e.name for e in net.topological_order()] == ["a", "b"]
+
+    def test_foreign_ensemble_rejected(self):
+        net1, net2 = Net(2), Net(2)
+        a = DataEnsemble(net1, "a", (4,))
+        b = DataEnsemble(net2, "b", (4,))
+        with pytest.raises(ValueError, match="not part"):
+            net1.add_connections(a, b, one_to_one(1))
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            Net(0)
+        with pytest.raises(ValueError):
+            Net(2, time_steps=0)
+
+    def test_connection_indices_in_order(self):
+        net = Net(2)
+        a = DataEnsemble(net, "a", (4,))
+        b = DataEnsemble(net, "b", (4,))
+        c = Ensemble(net, "c", ReLUNeuron, (4,))
+        c1 = net.add_connections(a, c, one_to_one(1))
+        c2 = net.add_connections(b, c, one_to_one(1))
+        assert (c1.index, c2.index) == (0, 1)
+
+    def test_activation_ensemble_autoconnects(self):
+        net = Net(2)
+        a = DataEnsemble(net, "a", (3, 4, 4))
+        act = ActivationEnsemble(net, "r", ReLUNeuron, a)
+        assert act.shape == a.shape
+        assert len(act.inputs) == 1
+        assert act.inputs[0].source is a

@@ -1,0 +1,417 @@
+"""Per-layer correctness: forward against independent NumPy references,
+backward against numeric gradients (smooth layers) and structural
+identities (kinked layers)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Net
+from repro.layers import (
+    AddLayer,
+    BatchNormLayer,
+    ConvolutionLayer,
+    DropoutLayer,
+    FullyConnectedLayer,
+    LRNLayer,
+    MaxPoolingLayer,
+    MeanPoolingLayer,
+    MemoryDataLayer,
+    MulLayer,
+    ReLULayer,
+    SigmoidLayer,
+    SoftmaxLayer,
+    SoftmaxLossLayer,
+    TanhLayer,
+)
+from repro.optim import CompilerOptions
+from repro.utils.rng import seed_all
+from tests.conftest import run_backward_seeded
+
+B = 3
+
+
+def _data_net(shape):
+    net = Net(B)
+    d = MemoryDataLayer(net, "data", shape)
+    return net, d
+
+
+def _x(shape, seed=0):
+    return np.random.default_rng(seed).standard_normal(
+        (B,) + shape
+    ).astype(np.float32)
+
+
+class TestFullyConnected:
+    def test_forward_matches_matmul(self):
+        net, d = _data_net((7,))
+        FullyConnectedLayer("fc", net, d, 5)
+        cn = net.init()
+        x = _x((7,))
+        cn.forward(data=x)
+        W, b = cn.buffers["fc_weights"], cn.buffers["fc_bias"]
+        np.testing.assert_allclose(cn.value("fc"), x @ W + b, rtol=1e-5)
+
+    def test_backward_identities(self):
+        net, d = _data_net((7,))
+        FullyConnectedLayer("fc", net, d, 5)
+        cn = net.init()
+        x = _x((7,))
+        cn.forward(data=x)
+        g = _x((5,), seed=1)
+        cn.clear_param_grads()
+        run_backward_seeded(cn, "fc", g)
+        W = cn.buffers["fc_weights"]
+        np.testing.assert_allclose(cn.buffers["fc_grad_weights"], x.T @ g,
+                                   rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(cn.buffers["fc_grad_bias"][0], g.sum(0),
+                                   rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(cn.grad("data"), g @ W.T,
+                                   rtol=1e-4, atol=1e-5)
+
+    def test_multiple_heads_accumulate_source_grad(self):
+        net, d = _data_net((7,))
+        FullyConnectedLayer("a", net, d, 5)
+        FullyConnectedLayer("b", net, d, 4)
+        cn = net.init()
+        x = _x((7,))
+        cn.forward(data=x)
+        cn._zero_grads()
+        ga, gb = _x((5,), 1), _x((4,), 2)
+        cn.grad("a")[...] = ga
+        cn.grad("b")[...] = gb
+        for step in cn.compiled.backward:
+            if step.kind != "comm":
+                step.fn(cn.buffers, cn)
+        expected = ga @ cn.buffers["a_weights"].T + gb @ cn.buffers["b_weights"].T
+        np.testing.assert_allclose(cn.grad("data"), expected, rtol=1e-4,
+                                   atol=1e-5)
+
+
+def _conv_reference(x, W, b, k, s, p):
+    bsz, c, h, w = x.shape
+    f = W.shape[1]
+    oh = (h + 2 * p - k) // s + 1
+    ow = (w + 2 * p - k) // s + 1
+    xp = np.zeros((bsz, c, h + 2 * p, w + 2 * p), np.float32)
+    xp[:, :, p : p + h, p : p + w] = x
+    col = np.empty((bsz, c * k * k, oh, ow), np.float32)
+    i = 0
+    for ch in range(c):
+        for ky in range(k):
+            for kx in range(k):
+                col[:, i] = xp[:, ch, ky : ky + oh * s : s,
+                               kx : kx + ow * s : s]
+                i += 1
+    return np.einsum("nkyx,kf->nfyx", col, W) + b[0][None, :, None, None]
+
+
+class TestConvolution:
+    @pytest.mark.parametrize("kernel,stride,pad", [
+        (3, 1, 1), (3, 1, 0), (5, 2, 2), (1, 1, 0), (3, 2, 1),
+    ])
+    def test_forward_geometries(self, kernel, stride, pad):
+        net, d = _data_net((3, 9, 9))
+        ConvolutionLayer("conv", net, d, 4, kernel, stride, pad)
+        cn = net.init()
+        x = _x((3, 9, 9))
+        cn.forward(data=x)
+        ref = _conv_reference(x, cn.buffers["conv_weights"],
+                              cn.buffers["conv_bias"], kernel, stride, pad)
+        np.testing.assert_allclose(cn.value("conv"), ref, rtol=1e-4,
+                                   atol=1e-5)
+
+    def test_weight_grad_identity(self):
+        net, d = _data_net((3, 8, 8))
+        ConvolutionLayer("conv", net, d, 4, 3, 1, 1)
+        cn = net.init()
+        cn.forward(data=_x((3, 8, 8)))
+        g = _x((4, 8, 8), 5)
+        cn.clear_param_grads()
+        run_backward_seeded(cn, "conv", g)
+        col = cn.buffers["conv_inputs0"]
+        ref = np.einsum("nkyx,nfyx->kf", col, g)
+        np.testing.assert_allclose(cn.buffers["conv_grad_weights"], ref,
+                                   rtol=1e-4, atol=1e-4)
+
+    def test_rejects_non_rank3_input(self):
+        net, d = _data_net((7,))
+        with pytest.raises(ValueError, match="rank-3"):
+            ConvolutionLayer("conv", net, d, 4, 3)
+
+
+class TestPooling:
+    def _pool_ref(self, x, k, s, mode):
+        bsz, c, h, w = x.shape
+        oh, ow = (h - k) // s + 1, (w - k) // s + 1
+        windows = np.stack([
+            x[:, :, ky : ky + oh * s : s, kx : kx + ow * s : s]
+            for ky in range(k) for kx in range(k)
+        ])
+        return windows.max(0) if mode == "max" else windows.mean(0)
+
+    @pytest.mark.parametrize("k,s,mode", [
+        (2, 2, "max"), (3, 2, "max"), (2, 2, "mean"), (3, 3, "mean"),
+    ])
+    def test_forward(self, k, s, mode):
+        net, d = _data_net((4, 9, 9))
+        layer = MaxPoolingLayer if mode == "max" else MeanPoolingLayer
+        layer("pool", net, d, k, s)
+        cn = net.init()
+        x = _x((4, 9, 9))
+        cn.forward(data=x)
+        np.testing.assert_allclose(cn.value("pool"),
+                                   self._pool_ref(x, k, s, mode),
+                                   rtol=1e-5, atol=1e-6)
+
+    def test_max_backward_routes_to_argmax(self):
+        net, d = _data_net((1, 4, 4))
+        MaxPoolingLayer("pool", net, d, 2, 2)
+        cn = net.init()
+        # distinct values avoid ties
+        x = np.arange(B * 16, dtype=np.float32).reshape(B, 1, 4, 4)
+        cn.forward(data=x)
+        g = np.ones((B, 1, 2, 2), np.float32)
+        run_backward_seeded(cn, "pool", g)
+        dx = cn.grad("data")
+        # gradient lands only on each window's max (bottom-right here)
+        assert dx.sum() == pytest.approx(B * 4)
+        assert (dx[:, :, 1::2, 1::2] == 1).all()
+
+    def test_mean_backward_spreads_evenly(self):
+        net, d = _data_net((2, 4, 4))
+        MeanPoolingLayer("pool", net, d, 2, 2)
+        cn = net.init()
+        cn.forward(data=_x((2, 4, 4)))
+        g = np.ones((B, 2, 2, 2), np.float32)
+        run_backward_seeded(cn, "pool", g)
+        np.testing.assert_allclose(cn.grad("data"), 0.25, rtol=1e-6)
+
+    def test_overlapping_pool_grads_accumulate(self):
+        net, d = _data_net((1, 5, 5))
+        MaxPoolingLayer("pool", net, d, 3, 2)
+        cn = net.init()
+        x = np.zeros((B, 1, 5, 5), np.float32)
+        x[:, :, 2, 2] = 10.0  # center is every window's max
+        cn.forward(data=x)
+        g = np.ones((B, 1, 2, 2), np.float32)
+        run_backward_seeded(cn, "pool", g)
+        assert (cn.grad("data")[:, 0, 2, 2] == 4).all()
+
+
+class TestActivations:
+    @pytest.mark.parametrize("layer,fn,dfn", [
+        (ReLULayer, lambda x: np.maximum(x, 0),
+         lambda x, y: (y > 0).astype(np.float32)),
+        (SigmoidLayer, lambda x: 1 / (1 + np.exp(-x)),
+         lambda x, y: y * (1 - y)),
+        (TanhLayer, np.tanh, lambda x, y: 1 - y * y),
+    ])
+    def test_forward_backward(self, layer, fn, dfn):
+        net, d = _data_net((6,))
+        layer("act", net, d, )
+        cn = net.init()
+        x = _x((6,))
+        cn.forward(data=x)
+        np.testing.assert_allclose(cn.value("act"), fn(x), rtol=1e-5,
+                                   atol=1e-6)
+        g = _x((6,), 3)
+        run_backward_seeded(cn, "act", g)
+        y = fn(x)
+        np.testing.assert_allclose(cn.grad("data"), g * dfn(x, y),
+                                   rtol=1e-4, atol=1e-5)
+
+    def test_inplace_shares_memory_with_source_of_ensemble(self):
+        net, d = _data_net((6,))
+        fc = FullyConnectedLayer("fc", net, d, 5)
+        ReLULayer("act", net, fc)
+        cn = net.init()
+        assert cn.buffers["act_value"] is cn.buffers["fc_value"]
+
+
+class TestDropout:
+    def test_training_mask_statistics(self):
+        net, d = _data_net((400,))
+        DropoutLayer("drop", net, d, ratio=0.25)
+        cn = net.init()
+        x = np.ones((B, 400), np.float32)
+        cn.forward(data=x)
+        out = cn.value("drop")
+        kept = out > 0
+        assert 0.6 < kept.mean() < 0.9  # ~75% kept
+        np.testing.assert_allclose(out[kept], 1 / 0.75, rtol=1e-5)
+
+    def test_inference_is_identity(self):
+        net, d = _data_net((50,))
+        DropoutLayer("drop", net, d, ratio=0.5)
+        cn = net.init()
+        cn.training = False
+        x = _x((50,))
+        cn.forward(data=x)
+        np.testing.assert_allclose(cn.value("drop"), x, rtol=1e-6)
+
+    def test_backward_uses_same_mask(self):
+        net, d = _data_net((50,))
+        DropoutLayer("drop", net, d, ratio=0.5)
+        cn = net.init()
+        x = np.ones((B, 50), np.float32)
+        cn.forward(data=x)
+        mask = cn.value("drop").copy()  # mask * 1
+        g = np.ones((B, 50), np.float32)
+        run_backward_seeded(cn, "drop", g)
+        np.testing.assert_allclose(cn.grad("data"), mask, rtol=1e-5)
+
+    def test_bad_ratio(self):
+        net, d = _data_net((5,))
+        with pytest.raises(ValueError):
+            DropoutLayer("drop", net, d, ratio=1.0)
+
+
+class TestElementwiseMath:
+    def test_add_and_mul(self):
+        net = Net(B)
+        a = MemoryDataLayer(net, "a", (6,))
+        b = MemoryDataLayer(net, "b", (6,))
+        AddLayer("s", net, a, b)
+        MulLayer("p", net, a, b)
+        cn = net.init()
+        xa, xb = _x((6,), 1), _x((6,), 2)
+        cn.set_input("a", xa)
+        cn.set_input("b", xb)
+        cn.forward()
+        np.testing.assert_allclose(cn.value("s"), xa + xb, rtol=1e-6)
+        np.testing.assert_allclose(cn.value("p"), xa * xb, rtol=1e-6)
+
+    def test_mul_backward_cross_terms(self):
+        net = Net(B)
+        a = MemoryDataLayer(net, "a", (6,))
+        b = MemoryDataLayer(net, "b", (6,))
+        MulLayer("p", net, a, b)
+        cn = net.init()
+        xa, xb = _x((6,), 1), _x((6,), 2)
+        cn.set_input("a", xa)
+        cn.set_input("b", xb)
+        cn.forward()
+        g = _x((6,), 3)
+        run_backward_seeded(cn, "p", g)
+        np.testing.assert_allclose(cn.grad("a"), g * xb, rtol=1e-5)
+        np.testing.assert_allclose(cn.grad("b"), g * xa, rtol=1e-5)
+
+    def test_shape_mismatch_rejected(self):
+        net = Net(B)
+        a = MemoryDataLayer(net, "a", (6,))
+        b = MemoryDataLayer(net, "b", (7,))
+        with pytest.raises(ValueError, match="mismatch"):
+            AddLayer("s", net, a, b)
+
+
+def _numeric_grad(build_fn, x, y, idx, eps=1e-2):
+    xp, xm = x.copy(), x.copy()
+    xp[idx] += eps
+    xm[idx] -= eps
+    return (build_fn().forward(data=xp, label=y)
+            - build_fn().forward(data=xm, label=y)) / (2 * eps)
+
+
+class TestNormalizationLayers:
+    def _build(self, layer_fn):
+        def build():
+            seed_all(5)
+            net = Net(B)
+            d = MemoryDataLayer(net, "data", (4, 6, 6))
+            label = MemoryDataLayer(net, "label", (1,))
+            n = layer_fn(net, d)
+            fc = FullyConnectedLayer("fc", net, n, 3)
+            SoftmaxLossLayer("loss", net, fc, label)
+            return net.init()
+        return build
+
+    @pytest.mark.parametrize("layer_fn", [
+        lambda net, d: LRNLayer("n", net, d, local_size=3, alpha=0.1,
+                                beta=0.75),
+        lambda net, d: BatchNormLayer("n", net, d),
+    ], ids=["lrn", "batchnorm"])
+    def test_numeric_input_gradient(self, layer_fn):
+        build = self._build(layer_fn)
+        x = _x((4, 6, 6))
+        y = np.random.default_rng(9).integers(0, 3, (B, 1)).astype(np.float32)
+        cn = build()
+        cn.forward(data=x, label=y)
+        cn.clear_param_grads()
+        cn.backward()
+        dx = cn.grad("data")
+        for idx in [(0, 0, 0, 0), (1, 2, 3, 4), (2, 3, 5, 5)]:
+            num = _numeric_grad(build, x, y, idx)
+            assert abs(num - dx[idx]) < 5e-3, (idx, num, dx[idx])
+
+    def test_lrn_forward_formula(self):
+        net, d = _data_net((6, 4, 4))
+        LRNLayer("n", net, d, local_size=5, alpha=1e-2, beta=0.75)
+        cn = net.init()
+        x = _x((6, 4, 4))
+        cn.forward(data=x)
+        # reference: brute-force window sum
+        ref = np.empty_like(x)
+        for c in range(6):
+            lo, hi = max(0, c - 2), min(6, c + 3)
+            scale = 1 + (1e-2 / 5) * (x[:, lo:hi] ** 2).sum(axis=1)
+            ref[:, c] = x[:, c] * scale ** -0.75
+        np.testing.assert_allclose(cn.value("n"), ref, rtol=1e-4, atol=1e-5)
+
+    def test_batchnorm_normalizes(self):
+        net, d = _data_net((4, 6, 6))
+        BatchNormLayer("n", net, d)
+        cn = net.init()
+        cn.forward(data=_x((4, 6, 6)))
+        out = cn.value("n").astype(np.float64)
+        assert abs(out.mean(axis=(0, 2, 3))).max() < 1e-4
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_batchnorm_inference_uses_running_stats(self):
+        net, d = _data_net((4,))
+        bn = BatchNormLayer("n", net, d, momentum=0.2)
+        cn = net.init()
+        for s in range(20):
+            cn.forward(data=_x((4,), seed=s) + 2.0)
+        cn.training = False
+        cn.forward(data=np.full((B, 4), 2.0, np.float32))
+        # inputs at the (converged) running mean normalize to ~0
+        # (tolerance reflects the 3-sample batch noise in the stats)
+        assert abs(cn.value("n")).max() < 1.2
+
+
+class TestSoftmax:
+    def test_loss_value(self):
+        net, d = _data_net((5,))
+        label = MemoryDataLayer(net, "label", (1,))
+        SoftmaxLossLayer("loss", net, d, label)
+        cn = net.init()
+        x = _x((5,))
+        y = np.array([[0], [3], [2]], np.float32)
+        loss = cn.forward(data=x, label=y)
+        z = x - x.max(1, keepdims=True)
+        p = np.exp(z) / np.exp(z).sum(1, keepdims=True)
+        expected = -np.log(p[np.arange(B), y.ravel().astype(int)]).mean()
+        assert loss == pytest.approx(expected, rel=1e-5)
+
+    def test_loss_gradient(self):
+        net, d = _data_net((5,))
+        label = MemoryDataLayer(net, "label", (1,))
+        SoftmaxLossLayer("loss", net, d, label)
+        cn = net.init()
+        x = _x((5,))
+        y = np.array([[0], [3], [2]], np.float32)
+        cn.forward(data=x, label=y)
+        cn.backward()
+        z = x - x.max(1, keepdims=True)
+        p = np.exp(z) / np.exp(z).sum(1, keepdims=True)
+        p[np.arange(B), y.ravel().astype(int)] -= 1
+        np.testing.assert_allclose(cn.grad("data"), p / B, rtol=1e-4,
+                                   atol=1e-6)
+
+    def test_softmax_layer_rows_sum_to_one(self):
+        net, d = _data_net((5,))
+        SoftmaxLayer("sm", net, d)
+        cn = net.init()
+        cn.forward(data=_x((5,)))
+        np.testing.assert_allclose(cn.value("sm").sum(1), 1.0, rtol=1e-5)

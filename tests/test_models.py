@@ -1,0 +1,119 @@
+"""Tests for the model zoo: configs, scaling, and building/running the
+evaluation architectures at reduced geometry."""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_images
+from repro.models import (
+    ConvSpec,
+    FCSpec,
+    alexnet_config,
+    build_latte,
+    lenet_config,
+    mlp_config,
+    overfeat_config,
+    vgg_config,
+    vgg_group_config,
+    vgg_micro_config,
+)
+from repro.optim import CompilerOptions
+from repro.utils.rng import seed_all
+
+
+class TestConfigs:
+    def test_vgg_a_structure(self):
+        cfg = vgg_config()
+        convs = [s for s in cfg.layers if isinstance(s, ConvSpec)]
+        assert [c.filters for c in convs] == [64, 128, 256, 256, 512, 512,
+                                              512, 512]
+        fcs = [s for s in cfg.layers if isinstance(s, FCSpec)]
+        assert [f.outputs for f in fcs] == [4096, 4096, 1000]
+
+    def test_vgg_micro_is_first_three_layers(self):
+        cfg = vgg_micro_config()
+        assert [type(s).__name__ for s in cfg.layers] == [
+            "ConvSpec", "ReLUSpec", "PoolSpec",
+        ]
+
+    def test_vgg_group4_has_two_convs(self):
+        cfg = vgg_group_config(4)
+        convs = [s for s in cfg.layers if isinstance(s, ConvSpec)]
+        assert len(convs) == 2
+        assert convs[0].filters == 512
+
+    def test_vgg_group_bounds(self):
+        with pytest.raises(ValueError):
+            vgg_group_config(5)
+
+    def test_alexnet_conv_geometry(self):
+        cfg = alexnet_config()
+        c1 = next(s for s in cfg.layers if isinstance(s, ConvSpec))
+        assert (c1.kernel, c1.stride, c1.filters) == (11, 4, 96)
+
+    def test_overfeat_bigger_late_filters(self):
+        a = [s.filters for s in alexnet_config().layers
+             if isinstance(s, ConvSpec)]
+        o = [s.filters for s in overfeat_config().layers
+             if isinstance(s, ConvSpec)]
+        assert o[-1] >= 2 * a[-1]  # §7.1.2: 2-4x the filters
+
+    def test_scaled_keeps_classes_and_kernels(self):
+        cfg = alexnet_config().scaled(channel_scale=0.25, input_size=67)
+        c1 = next(s for s in cfg.layers if isinstance(s, ConvSpec))
+        assert c1.kernel == 11 and c1.filters == 24
+        assert cfg.input_shape == (3, 67, 67)
+        fc_last = [s for s in cfg.layers if isinstance(s, FCSpec)][-1]
+        assert fc_last.outputs == 1000  # classifier head not scaled
+
+    def test_scaled_classes_override(self):
+        cfg = mlp_config().scaled(classes=7)
+        assert cfg.classes == 7
+
+
+SMALL = {
+    "alexnet": dict(channel_scale=0.125, input_size=67),
+    "overfeat": dict(channel_scale=0.0625, input_size=75),
+    "vgg": dict(channel_scale=0.0625, input_size=32),
+    "lenet": dict(channel_scale=0.5),
+}
+
+
+@pytest.mark.parametrize("name,factory", [
+    ("alexnet", alexnet_config),
+    ("overfeat", overfeat_config),
+    ("vgg", vgg_config),
+    ("lenet", lenet_config),
+])
+def test_build_and_run_scaled_models(name, factory):
+    """Every evaluation model compiles and runs forward+backward at
+    reduced geometry."""
+    cfg = factory().scaled(**SMALL[name])
+    seed_all(3)
+    built = build_latte(cfg, batch_size=2)
+    cnet = built.init(CompilerOptions())
+    x = synthetic_images(2, cfg.input_shape, seed=0)
+    y = np.zeros((2, 1), np.float32)
+    loss = cnet.forward(data=x, label=y)
+    assert np.isfinite(loss) and loss > 0
+    cnet.clear_param_grads()
+    cnet.backward()
+    norms = [float(np.abs(p.grad).sum()) for p in cnet.parameters()]
+    assert all(np.isfinite(n) for n in norms)
+    assert sum(n > 0 for n in norms) >= len(norms) - 1
+
+
+def test_mlp_builds_flat_data():
+    cfg = mlp_config(hidden=(20, 10), input_dim=784)
+    built = build_latte(cfg, 4)
+    assert built.data.shape == (784,)
+    cnet = built.init()
+    x = np.random.default_rng(0).standard_normal((4, 784)).astype(np.float32)
+    y = np.zeros((4, 1), np.float32)
+    assert np.isfinite(cnet.forward(data=x, label=y))
+
+
+def test_output_ensemble_is_pre_loss():
+    built = build_latte(mlp_config(), 2)
+    assert built.output.name == "ip2"
+    assert built.loss is not None

@@ -1,0 +1,113 @@
+"""Tests for real multi-threaded data-parallel training with lossy vs
+synchronized gradient reduction (§3.1 / Fig. 20 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Net
+from repro.layers import (
+    DataAndLabelLayer,
+    FullyConnectedLayer,
+    ReLULayer,
+    SoftmaxLossLayer,
+)
+from repro.layers.metrics import top1_accuracy
+from repro.runtime import MultiThreadTrainer
+from repro.solvers import SGD, LRPolicy, MomPolicy, SolverParameters
+from repro.utils.rng import seed_all
+
+BATCH = 8
+
+
+def _build():
+    seed_all(17)
+    net = Net(BATCH)
+    data, label = DataAndLabelLayer(net, (32,))
+    ip1 = FullyConnectedLayer("ip1", net, data, 24)
+    r = ReLULayer("r", net, ip1)
+    ip2 = FullyConnectedLayer("ip2", net, r, 4)
+    SoftmaxLossLayer("loss", net, ip2, label)
+    return net.init()
+
+
+def _task(n=256, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.random.default_rng(99).standard_normal((4, 32)) * 2
+    labels = rng.integers(0, 4, n)
+    data = centers[labels] + 0.4 * rng.standard_normal((n, 32))
+    return data.astype(np.float32), labels.astype(np.float32).reshape(-1, 1)
+
+
+class TestSharing:
+    def test_replicas_share_parameter_memory(self):
+        tr = MultiThreadTrainer(_build, 3, lossy=False)
+        try:
+            master_w = tr.master.buffers["ip1_weights"]
+            for rep in tr.replicas[1:]:
+                assert rep.buffers["ip1_weights"] is master_w
+        finally:
+            tr.close()
+
+    def test_lossy_shares_grad_memory_sync_does_not(self):
+        lossy = MultiThreadTrainer(_build, 2, lossy=True)
+        sync = MultiThreadTrainer(_build, 2, lossy=False)
+        try:
+            g = lossy.master.buffers["ip1_grad_weights"]
+            assert lossy.replicas[1].buffers["ip1_grad_weights"] is g
+            g2 = sync.master.buffers["ip1_grad_weights"]
+            assert sync.replicas[1].buffers["ip1_grad_weights"] is not g2
+        finally:
+            lossy.close()
+            sync.close()
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ValueError):
+            MultiThreadTrainer(_build, 0, lossy=False)
+
+
+@pytest.mark.parametrize("lossy", [False, True], ids=["sync", "lossy"])
+def test_threaded_training_converges(lossy):
+    """Both reduction modes learn the task — the Fig. 20 claim at unit
+    scale: lossy updates do not prevent convergence."""
+    data, labels = _task()
+    tr = MultiThreadTrainer(_build, 2, lossy=lossy)
+    try:
+        solver = SGD(SolverParameters(lr_policy=LRPolicy.Fixed(0.05),
+                                      mom_policy=MomPolicy.Fixed(0.9)))
+        first = None
+        rng = np.random.default_rng(0)
+        for epoch in range(6):
+            loss = tr.train_epoch(solver, data, labels, rng=rng)
+            if first is None:
+                first = loss
+        assert loss < first * 0.5
+        tr.master.training = False
+        tr.master.forward(data=data[:BATCH], label=labels[:BATCH])
+        acc = top1_accuracy(tr.master.value("ip2"), labels[:BATCH])
+        assert acc >= 0.75
+    finally:
+        tr.close()
+
+
+def test_sync_mode_matches_single_worker_gradient_sum():
+    """With one worker, threaded training equals plain training."""
+    data, labels = _task(64)
+    tr = MultiThreadTrainer(_build, 1, lossy=False)
+    try:
+        solver = SGD(SolverParameters(lr_policy=LRPolicy.Fixed(0.1)))
+        tr.train_epoch(solver, data, labels, rng=np.random.default_rng(1))
+        w_threaded = tr.master.buffers["ip2_weights"].copy()
+    finally:
+        tr.close()
+
+    cnet = _build()
+    solver = SGD(SolverParameters(lr_policy=LRPolicy.Fixed(0.1)))
+    idx = np.random.default_rng(1).permutation(len(data))
+    for start in range(0, len(idx) - BATCH + 1, BATCH):
+        sel = idx[start : start + BATCH]
+        cnet.forward(data=data[sel], label=labels[sel])
+        cnet.clear_param_grads()
+        cnet.backward()
+        solver.update(cnet)
+    np.testing.assert_allclose(cnet.buffers["ip2_weights"], w_threaded,
+                               rtol=1e-5, atol=1e-6)

@@ -1,0 +1,199 @@
+"""Tests for the optimization passes: GEMM pattern matching, first-writer
+forwarding, tiling, copy inlining, and cross-layer fusion (§5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Net
+from repro.ir import Assign, BinOp, Const, Gemm, Index, Var
+from repro.layers import (
+    ConvolutionLayer,
+    FullyConnectedLayer,
+    MaxPoolingLayer,
+    MemoryDataLayer,
+    ReLULayer,
+    SoftmaxLayer,
+)
+from repro.optim import CompilerOptions
+from repro.optim.pattern_match import match_gemm
+from repro.synthesis.units import FusedGroup, LoopSpec, LoopUnit, UnitTags
+
+
+def _unit(loops, stmt):
+    return LoopUnit([LoopSpec.simple(v, n) for v, n in loops], stmt,
+                    UnitTags(ensemble="e"))
+
+
+def _mac(c, a, b):
+    return Assign(c, BinOp("*", a, b), reduce="add")
+
+
+class TestGemmMatching:
+    def test_fc_forward_matches(self):
+        stmt = _mac(
+            Index("y", (Var("n"), Var("o"))),
+            Index("x", (Var("n"), Var("i"))),
+            Index("w", (Var("i"), Var("o"))),
+        )
+        out = match_gemm(_unit([("n", 4), ("o", 5), ("i", 6)], stmt))
+        assert out is not None
+        gemm = out.stmt
+        assert isinstance(gemm, Gemm)
+        # letters assigned in loop order: n→a, o→b, i→c
+        assert gemm.subscripts == "ac,cb->ab"
+        assert out.loops == []
+
+    def test_conv_forward_matches(self):
+        stmt = _mac(
+            Index("v", (Var("n"), Var("c"), Var("y"), Var("x"))),
+            Index("w", (Var("i"), Var("c"))),
+            Index("inb", (Var("n"), Var("i"), Var("y"), Var("x"))),
+        )
+        out = match_gemm(
+            _unit([("n", 2), ("c", 4), ("y", 8), ("x", 8), ("i", 27)], stmt)
+        )
+        assert out is not None
+        m, nn, k = out.stmt.mnk
+        # A = weights → M covers its free var c; B = im2col → N = n*y*x
+        assert (m, nn, k) == ("4", "128", "27")
+
+    def test_plain_add_not_matched(self):
+        stmt = Assign(Index("y", (Var("n"),)), Index("x", (Var("n"),)),
+                      reduce="add")
+        assert match_gemm(_unit([("n", 4)], stmt)) is None
+
+    def test_nonpure_axis_not_matched(self):
+        from repro.ir import add, mul
+
+        stmt = _mac(
+            Index("y", (Var("n"),)),
+            Index("x", (add(mul(2, Var("n")), Var("i")),)),
+            Index("w", (Var("i"),)),
+        )
+        assert match_gemm(_unit([("n", 4), ("i", 3)], stmt)) is None
+
+    def test_output_only_var_not_matched(self):
+        stmt = _mac(
+            Index("y", (Var("n"), Var("z"))),
+            Index("x", (Var("n"),)),
+            Index("w", (Var("n"),)),
+        )
+        assert match_gemm(_unit([("n", 4), ("z", 3)], stmt)) is None
+
+    def test_plain_store_not_matched(self):
+        stmt = Assign(
+            Index("y", (Var("n"),)),
+            BinOp("*", Index("a", (Var("n"),)), Index("b", (Var("n"),))),
+        )
+        assert match_gemm(_unit([("n", 4)], stmt)) is None
+
+
+def _cnn(batch=2, opts=None):
+    net = Net(batch)
+    d = MemoryDataLayer(net, "data", (3, 8, 8))
+    conv = ConvolutionLayer("conv1", net, d, 4, 3, pad=1)
+    relu = ReLULayer("relu1", net, conv)
+    pool = MaxPoolingLayer("pool1", net, relu, 2, 2)
+    # small geometry: force tiles small enough that tiling engages
+    return net.init(opts or CompilerOptions(min_tile_rows=2))
+
+
+class TestPipelineStructure:
+    def test_cross_layer_fusion_single_group(self):
+        cn = _cnn()
+        labels = [s.label for s in cn.compiled.forward if s.kind == "task"]
+        fused = [l for l in labels if "conv1" in l and "pool1" in l]
+        assert fused, f"conv/relu/pool not fused: {labels}"
+
+    def test_poolinput_buffer_eliminated(self):
+        cn = _cnn()
+        assert "pool1_inputs0" not in cn.buffers
+        assert "pool1_grad_inputs0" not in cn.buffers
+
+    def test_unfused_keeps_pool_buffer(self):
+        cn = _cnn(opts=CompilerOptions.level(2))
+        assert "pool1_inputs0" in cn.buffers
+
+    def test_large_min_tile_rows_disables_tiling(self):
+        cn = _cnn(opts=CompilerOptions(min_tile_rows=32))
+        assert "# tile loop" not in cn.source
+
+    def test_inplace_relu_shares_value(self):
+        cn = _cnn()
+        assert cn.buffers["relu1_value"] is cn.buffers["conv1_value"]
+
+    def test_normalization_is_fusion_barrier(self):
+        net = Net(2)
+        d = MemoryDataLayer(net, "data", (3, 8, 8))
+        conv = ConvolutionLayer("conv1", net, d, 4, 3, pad=1)
+        sm = SoftmaxLayer("sm", net, conv)
+        cn = net.init(CompilerOptions(min_tile_rows=2))
+        labels = [s.label for s in cn.compiled.forward]
+        assert any("sm" in l and "conv1" not in l for l in labels)
+
+    def test_conv_conv_not_fused(self):
+        """Overlapping 3x3 stride-1 windows are fusion-preventing — the
+        paper's VGG group-4 limit (§7.1.2)."""
+        net = Net(2)
+        d = MemoryDataLayer(net, "data", (3, 8, 8))
+        c1 = ConvolutionLayer("c1", net, d, 4, 3, pad=1)
+        c2 = ConvolutionLayer("c2", net, c1, 4, 3, pad=1)
+        cn = net.init(CompilerOptions(min_tile_rows=2))
+        for step in cn.compiled.forward:
+            assert not ("c1" in step.label and "c2.co" in step.label), (
+                step.label
+            )
+
+    def test_first_writer_drops_fill(self):
+        cn = _cnn()
+        # no zero-fill of conv1_value survives: the GEMM stores directly
+        assert "conv1_value[" not in [
+            line
+            for line in cn.source.splitlines()
+            if "= 0.0" in line and "conv1_value" in line
+        ]
+        assert "conv1.fill" not in " ".join(
+            s.label for s in cn.compiled.forward
+        )
+
+    def test_first_writer_skips_grad_zeroing(self):
+        cn = _cnn()
+        spec = cn.plan.buffers["conv1_grad_inputs0"]
+        assert spec.needs_zero is False
+
+    def test_tile_loop_in_source(self):
+        cn = _cnn()
+        assert "# tile loop" in cn.source
+
+    def test_comm_calls_after_each_param_ensemble(self):
+        net = Net(2)
+        d = MemoryDataLayer(net, "data", (6,))
+        fc1 = FullyConnectedLayer("fc1", net, d, 5)
+        fc2 = FullyConnectedLayer("fc2", net, fc1, 4)
+        cn = net.init()
+        comms = [s.comm.ensemble for s in cn.compiled.backward
+                 if s.kind == "comm"]
+        assert comms == ["fc2", "fc1"]  # reverse topological order
+
+    def test_opt_levels_ladder(self):
+        o0 = CompilerOptions.level(0)
+        assert not o0.vectorize and not o0.fusion
+        o4 = CompilerOptions.level(4)
+        assert o4.vectorize and o4.fusion and o4.tiling
+        with pytest.raises(ValueError):
+            CompilerOptions.level(9)
+
+
+class TestCBackend:
+    def test_paper_shaped_output(self):
+        cn = _cnn()
+        c = cn.c_source
+        assert "gemm('T', 'N'," in c
+        assert "#pragma omp for" in c
+        assert "schedule(static, 1)" in c
+        assert "latte_iallreduce" in c
+
+    def test_c_source_has_both_directions(self):
+        cn = _cnn()
+        assert "=== forward ===" in cn.c_source
+        assert "=== backward ===" in cn.c_source

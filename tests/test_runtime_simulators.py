@@ -1,0 +1,199 @@
+"""Tests for the heterogeneous scheduler (§6.1) and the distributed
+data-parallel simulator (§6, §7.2) — the substrates behind Figs. 17-19."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    ClusterSimulator,
+    CommPoint,
+    ComputeProfile,
+    DeviceSpec,
+    HeterogeneousScheduler,
+    cori_aries,
+    gigabit_ethernet,
+    infiniband_fdr,
+    scaling_efficiency,
+    strong_scaling,
+    weak_scaling,
+    xeon_phi,
+)
+from repro.runtime.netsim import NetworkModel
+
+
+class TestAllreduceModel:
+    def test_single_node_is_free(self):
+        assert cori_aries().allreduce_time(1 << 20, 1) == 0.0
+
+    def test_grows_with_bytes(self):
+        net = infiniband_fdr()
+        assert net.allreduce_time(1 << 24, 8) > net.allreduce_time(1 << 20, 8)
+
+    def test_bandwidth_term_saturates(self):
+        """Per-node volume approaches 2·bytes as N grows (ring)."""
+        net = NetworkModel("t", 0.0, 1e9)
+        t64 = net.allreduce_time(1 << 20, 64)
+        assert t64 == pytest.approx(2 * 63 / 64 * (1 << 20) / 1e9)
+
+    def test_slower_network_is_slower(self):
+        assert (gigabit_ethernet().allreduce_time(1 << 22, 8)
+                > cori_aries().allreduce_time(1 << 22, 8))
+
+    @settings(max_examples=30, deadline=None)
+    @given(nbytes=st.integers(1, 1 << 26), nodes=st.integers(2, 128))
+    def test_allreduce_positive_and_monotone_in_bytes(self, nbytes, nodes):
+        net = infiniband_fdr()
+        t = net.allreduce_time(nbytes, nodes)
+        assert t > 0
+        assert net.allreduce_time(nbytes * 2, nodes) >= t
+
+
+def _profile(forward=0.05, backward=0.10, per_image=True, layers=3,
+             grad_bytes=4 << 20):
+    points = tuple(
+        CommPoint((i + 1) / layers, grad_bytes, f"ens{i}")
+        for i in range(layers)
+    )
+    if per_image:
+        return ComputeProfile(0.0, forward, 0.0, backward, points)
+    return ComputeProfile(forward, 0.0, backward, 0.0, points)
+
+
+class TestClusterSimulator:
+    def test_single_node_is_pure_compute(self):
+        p = _profile()
+        sim = ClusterSimulator(p, cori_aries(), 1)
+        assert sim.iteration_time(8) == pytest.approx(
+            p.forward_time(8) + p.backward_time(8)
+        )
+
+    def test_comm_fully_overlapped_when_small(self):
+        p = _profile(grad_bytes=1024)
+        t1 = ClusterSimulator(p, cori_aries(), 1).iteration_time(64)
+        t16 = ClusterSimulator(p, cori_aries(), 16).iteration_time(64)
+        # tiny gradients hide entirely behind backward compute
+        assert t16 == pytest.approx(t1, rel=1e-3)
+
+    def test_comm_tail_appears_when_large(self):
+        p = _profile(grad_bytes=1 << 28)
+        t1 = ClusterSimulator(p, gigabit_ethernet(), 1).iteration_time(8)
+        t16 = ClusterSimulator(p, gigabit_ethernet(), 16).iteration_time(8)
+        assert t16 > t1 * 1.5
+
+    def test_weak_scaling_near_linear_on_fast_network(self):
+        p = _profile()
+        tps = weak_scaling(p, infiniband_fdr(), 64, [1, 2, 4, 8, 16, 32])
+        eff = scaling_efficiency(tps)
+        assert eff[32] > 0.7
+        # throughput strictly increases with nodes
+        nodes = sorted(tps)
+        assert all(tps[a] < tps[b] for a, b in zip(nodes, nodes[1:]))
+
+    def test_strong_scaling_efficiency_drops_with_overhead(self):
+        # a fixed per-iteration overhead penalizes small per-node batches
+        p = ComputeProfile(0.005, 0.001, 0.010, 0.002,
+                           _profile().comm_points)
+        tps = strong_scaling(p, cori_aries(), 512, [1, 4, 16, 64])
+        eff = scaling_efficiency(tps)
+        assert eff[4] > eff[16] > eff[64]
+        assert eff[64] < 0.9
+
+    def test_strong_scaling_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            strong_scaling(_profile(), cori_aries(), 100, [3])
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            ClusterSimulator(_profile(), cori_aries(), 0)
+
+
+class TestProfileMeasurement:
+    def _cnet(self, batch):
+        from repro.core import Net
+        from repro.layers import (DataAndLabelLayer, FullyConnectedLayer,
+                                  SoftmaxLossLayer)
+        from repro.utils.rng import seed_all
+
+        seed_all(4)
+        net = Net(batch)
+        data, label = DataAndLabelLayer(net, (32,))
+        fc1 = FullyConnectedLayer("fc1", net, data, 16)
+        fc2 = FullyConnectedLayer("fc2", net, fc1, 4)
+        SoftmaxLossLayer("loss", net, fc2, label)
+        return net.init()
+
+    def test_measure_collects_comm_points(self):
+        cnet = self._cnet(8)
+        rng = np.random.default_rng(0)
+        inputs = {"data": rng.standard_normal((8, 32)).astype(np.float32),
+                  "label": np.zeros((8, 1), np.float32)}
+        prof = ComputeProfile.measure(cnet, inputs, repeats=1)
+        assert [p.ensemble for p in prof.comm_points] == ["fc2", "fc1"]
+        # fc2: (16+1)*4 floats; fc1: (32+1)*16 floats
+        assert prof.comm_points[0].grad_bytes == (16 * 4 + 4) * 4
+        assert prof.comm_points[1].grad_bytes == (32 * 16 + 16) * 4
+        assert 0 < prof.comm_points[0].issue_fraction <= 1.0
+        assert prof.forward_time(8) > 0
+
+    def test_two_point_fit_has_base_term(self):
+        big, small = self._cnet(16), self._cnet(4)
+        rng = np.random.default_rng(0)
+        mk = lambda b: {
+            "data": rng.standard_normal((b, 32)).astype(np.float32),
+            "label": np.zeros((b, 1), np.float32),
+        }
+        prof = ComputeProfile.measure(big, mk(16), small, mk(4), repeats=1)
+        assert prof.forward_base >= 0
+        assert prof.forward_per_image >= 0
+
+
+class TestHeterogeneousScheduler:
+    def test_no_devices_all_host(self):
+        s = HeterogeneousScheduler(100.0, [], 64)
+        assert s.assignment.host_images == 64
+        assert s.throughput() == pytest.approx(100.0, rel=0.05)
+
+    def test_chunk_search_balances(self):
+        """§6.1: the linear search grows device chunks until device chunk
+        time matches host time."""
+        dev = DeviceSpec("mic0", relative_throughput=0.5)
+        s = HeterogeneousScheduler(100.0, [dev], 96)
+        host, (chunk,) = s.assignment.host_images, s.assignment.device_images
+        host_t = host / 100.0
+        dev_t = chunk / 50.0
+        assert abs(host_t - dev_t) < 0.05 * host_t + 2 / 50.0
+        assert host + chunk == 96
+
+    def test_each_phi_adds_roughly_half(self):
+        """Fig. 17's shape: each Xeon Phi adds ~50% throughput."""
+        base = HeterogeneousScheduler(100.0, [], 128).throughput()
+        one = HeterogeneousScheduler(100.0, [xeon_phi("m0")], 128).throughput()
+        two = HeterogeneousScheduler(
+            100.0, [xeon_phi("m0"), xeon_phi("m1")], 128
+        ).throughput()
+        assert 1.3 < one / base < 1.7
+        assert 1.2 < two / one < 1.6
+        assert two > one > base
+
+    def test_first_iteration_pays_upload(self):
+        dev = DeviceSpec("mic0", 0.5, transfer_rate=500.0)
+        s = HeterogeneousScheduler(100.0, [dev], 64)
+        assert s.iteration_time(first=True) >= s.iteration_time(first=False)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeterogeneousScheduler(0.0, [], 8)
+        with pytest.raises(ValueError):
+            HeterogeneousScheduler(10.0, [], 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(rate=st.floats(10.0, 1000.0), batch=st.integers(2, 256),
+           rel=st.floats(0.1, 2.0))
+    def test_chunks_partition_batch(self, rate, batch, rel):
+        s = HeterogeneousScheduler(rate, [DeviceSpec("d", rel)], batch)
+        a = s.assignment
+        assert a.host_images + sum(a.device_images) == batch
+        assert a.host_images >= 1
+        assert all(c >= 1 for c in a.device_images)

@@ -1,0 +1,201 @@
+"""Tests for solvers, policies, and the training loop."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Net
+from repro.data import synthetic_mnist
+from repro.layers import (
+    DataAndLabelLayer,
+    FullyConnectedLayer,
+    ReLULayer,
+    SoftmaxLossLayer,
+)
+from repro.solvers import (
+    SGD,
+    AdaDelta,
+    AdaGrad,
+    Adam,
+    Dataset,
+    LRPolicy,
+    MomPolicy,
+    Nesterov,
+    RMSProp,
+    SolverParameters,
+    evaluate,
+    solve,
+)
+from repro.utils.rng import seed_all
+
+
+class TestPolicies:
+    def test_fixed(self):
+        assert LRPolicy.Fixed(0.1)(100) == 0.1
+
+    def test_inv_decreases(self):
+        p = LRPolicy.Inv(0.01, 0.0001, 0.75)
+        assert p(0) == 0.01
+        assert p(1000) < p(100) < p(0)
+
+    def test_step(self):
+        p = LRPolicy.Step(1.0, 0.5, 10)
+        assert p(9) == 1.0
+        assert p(10) == 0.5
+        assert p(25) == 0.25
+
+    def test_exp(self):
+        p = LRPolicy.Exp(1.0, 0.9)
+        assert p(2) == pytest.approx(0.81)
+
+    def test_poly_hits_zero(self):
+        p = LRPolicy.Poly(1.0, 1.0, 100)
+        assert p(0) == 1.0
+        assert p(100) == 0.0
+        assert p(200) == 0.0  # clamped
+
+    def test_momentum_linear_ramp(self):
+        p = MomPolicy.Linear(0.5, 0.9, 100)
+        assert p(0) == 0.5
+        assert p(100) == pytest.approx(0.9)
+        assert p(50) == pytest.approx(0.7)
+
+
+class _QuadraticProblem:
+    """Minimize ||W||² through the solver interface via a fake net."""
+
+    class _P:
+        def __init__(self, value):
+            self.ensemble = "e"
+            self.name = "weights"
+            self.value = value
+            self.grad = np.zeros_like(value)
+            self.lr_mult = 1.0
+            self.key = "e.weights"
+
+    def __init__(self, dim=8, seed=0):
+        rng = np.random.default_rng(seed)
+        self._p = self._P(rng.standard_normal(dim).astype(np.float32))
+
+    def parameters(self):
+        return [self._p]
+
+    def step_gradient(self):
+        self._p.grad[...] = 2 * self._p.value  # d||w||²/dw
+
+    @property
+    def loss(self):
+        return float((self._p.value ** 2).sum())
+
+
+@pytest.mark.parametrize("solver_cls,lr", [
+    (SGD, 0.1), (Nesterov, 0.05), (AdaGrad, 0.5), (RMSProp, 0.05),
+    (AdaDelta, 10.0), (Adam, 0.2),
+])
+def test_every_solver_minimizes_quadratic(solver_cls, lr):
+    prob = _QuadraticProblem()
+    start = prob.loss
+    solver = solver_cls(SolverParameters(
+        lr_policy=LRPolicy.Fixed(lr), mom_policy=MomPolicy.Fixed(0.9),
+    ))
+    for _ in range(60):
+        prob.step_gradient()
+        solver.update(prob)
+    assert prob.loss < start * 0.05, f"{solver_cls.__name__}: {prob.loss}"
+
+
+def test_sgd_momentum_matches_closed_form():
+    prob = _QuadraticProblem(dim=1, seed=3)
+    w0 = float(prob._p.value[0])
+    solver = SGD(SolverParameters(lr_policy=LRPolicy.Fixed(0.1),
+                                  mom_policy=MomPolicy.Fixed(0.5)))
+    # manual: h = m*h + lr*g; w -= h
+    h, w = 0.0, w0
+    for _ in range(5):
+        prob.step_gradient()
+        solver.update(prob)
+        h = 0.5 * h + 0.1 * (2 * w)
+        w -= h
+    assert float(prob._p.value[0]) == pytest.approx(w, rel=1e-5)
+
+
+def test_regularization_decays_weights_not_biases():
+    class P(_QuadraticProblem._P):
+        pass
+
+    w = P(np.ones(4, np.float32))
+    b = P(np.ones(4, np.float32))
+    b.name = "bias"
+    b.key = "e.bias"
+
+    class Net2:
+        def parameters(self):
+            return [w, b]
+
+    solver = SGD(SolverParameters(lr_policy=LRPolicy.Fixed(1.0),
+                                  regu_coef=0.1))
+    solver.update(Net2())  # zero grads: only decay acts
+    np.testing.assert_allclose(w.value, 0.9, rtol=1e-6)
+    np.testing.assert_allclose(b.value, 1.0, rtol=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(mom=st.floats(0.0, 0.95), lr=st.floats(0.001, 0.2))
+def test_sgd_update_is_linear_in_gradient(mom, lr):
+    """Property: with fresh state, delta = lr * grad exactly on the
+    first step regardless of momentum."""
+    prob = _QuadraticProblem(dim=4, seed=1)
+    before = prob._p.value.copy()
+    solver = SGD(SolverParameters(lr_policy=LRPolicy.Fixed(lr),
+                                  mom_policy=MomPolicy.Fixed(mom)))
+    prob.step_gradient()
+    g = prob._p.grad.copy()
+    solver.update(prob)
+    np.testing.assert_allclose(before - prob._p.value, lr * g, rtol=1e-4)
+
+
+class TestSolveLoop:
+    def _mlp(self, batch=16):
+        seed_all(3)
+        net = Net(batch)
+        data, label = DataAndLabelLayer(net, (64,))
+        ip1 = FullyConnectedLayer("ip1", net, data, 32)
+        r = ReLULayer("r", net, ip1)
+        ip2 = FullyConnectedLayer("ip2", net, r, 4)
+        SoftmaxLossLayer("loss", net, ip2, label)
+        return net.init()
+
+    _CENTERS = np.random.default_rng(42).standard_normal((4, 64)) * 2
+
+    def _dataset(self, n=256, seed=0):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 4, n)
+        data = self._CENTERS[labels] + 0.3 * rng.standard_normal((n, 64))
+        return Dataset(data.astype(np.float32), labels.astype(np.float32))
+
+    def test_training_reduces_loss_and_learns(self):
+        cnet = self._mlp()
+        train = self._dataset()
+        test = self._dataset(64, seed=9)
+        solver = SGD(SolverParameters(
+            lr_policy=LRPolicy.Fixed(0.05),
+            mom_policy=MomPolicy.Fixed(0.9), max_epoch=6,
+        ))
+        hist = solve(solver, cnet, train, test, output_ens="ip2")
+        assert hist.losses[-1] < hist.losses[0] * 0.5
+        assert hist.test_accuracy[-1] > 0.9
+
+    def test_evaluate_runs_in_inference_mode(self):
+        cnet = self._mlp()
+        data = self._dataset(64)
+        acc = evaluate(cnet, data, "ip2")
+        assert 0.0 <= acc <= 1.0
+        assert cnet.training  # restored
+
+    def test_epochs_argument_overrides(self):
+        cnet = self._mlp()
+        train = self._dataset(64)
+        solver = SGD(SolverParameters(max_epoch=50))
+        hist = solve(solver, cnet, train, epochs=2)
+        assert len(hist.losses) == 2
