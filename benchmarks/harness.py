@@ -10,7 +10,6 @@ to ``benchmarks/results/<figure>.txt``.
 from __future__ import annotations
 
 import os
-import time
 from typing import Callable, Dict
 
 import numpy as np
@@ -19,6 +18,7 @@ from repro.baselines import CaffeNet, MochaNet
 from repro.models import ModelConfig, build_latte
 from repro.optim import CompilerOptions
 from repro.utils.rng import seed_all
+from repro.utils.timing import measure_median
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -44,16 +44,12 @@ def report(figure: str, lines) -> None:
         f.write(text + "\n")
 
 
-def median_time(fn: Callable, repeats: int = 3, warmup: int = 1) -> float:
-    for _ in range(warmup):
-        fn()
-    times = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - t0)
-    times.sort()
-    return times[len(times) // 2]
+def median_time(fn: Callable, repeats: int = 3, warmup: int = 1,
+                full: bool = False):
+    """Benchmark-default spelling of
+    :func:`repro.utils.timing.measure_median` (fewer repeats; pass
+    ``full=True`` for all samples / noise stats)."""
+    return measure_median(fn, repeats=repeats, warmup=warmup, full=full)
 
 
 def make_inputs(config: ModelConfig, batch: int, seed: int = 0):

@@ -15,6 +15,7 @@ from repro import (
     MemoryDataLayer,
     MomPolicy,
     Net,
+    RecordingTracer,
     SoftmaxLossLayer,
     SolverParameters,
     solve,
@@ -35,10 +36,16 @@ def main():
     SoftmaxLossLayer("loss", net, ip2, label)
 
     # -- compile: synthesis + optimization + code generation --------------
-    cnet = net.init()
-    print("compiled steps (forward):")
+    # the tracer records compiler passes, runtime steps, and training
+    # metrics on one timeline (repro.trace; omit it for zero overhead)
+    tracer = RecordingTracer()
+    cnet = net.init(tracer=tracer)
+    print(cnet.summary())
+    print("\ncompiled steps (forward):")
     for step in cnet.compiled.forward:
         print(f"  {step.kind:5s} {step.label}")
+    print("\nwhat each compiler pass did:")
+    print(cnet.compile_report)
 
     # -- train with the paper's solver configuration ----------------------
     params = SolverParameters(
@@ -55,6 +62,12 @@ def main():
         zip(history.losses, history.test_accuracy), start=1
     ):
         print(f"epoch {epoch:2d}: loss {loss:.4f}  test accuracy {acc:.2%}")
+
+    # -- where did the time go? -------------------------------------------
+    print("\nruntime profile (top steps):")
+    print(cnet.profile().table(max_rows=6))
+    path = tracer.export_chrome_trace("quickstart_trace.json")
+    print(f"\nfull timeline written to {path} (open in chrome://tracing)")
 
 
 if __name__ == "__main__":

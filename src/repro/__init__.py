@@ -86,6 +86,13 @@ from repro.solvers import (
     evaluate,
     solve,
 )
+from repro.trace import (
+    CompileReport,
+    NullTracer,
+    ProfileReport,
+    RecordingTracer,
+    Tracer,
+)
 
 __version__ = "1.0.0"
 
@@ -98,6 +105,7 @@ __all__ = [
     "Adam",
     "AddLayer",
     "BatchNormLayer",
+    "CompileReport",
     "CompiledNet",
     "CompilerOptions",
     "Connection",
@@ -123,14 +131,18 @@ __all__ = [
     "Nesterov",
     "Neuron",
     "NormalizationEnsemble",
+    "NullTracer",
     "Param",
+    "ProfileReport",
     "RMSProp",
+    "RecordingTracer",
     "ReLULayer",
     "SigmoidLayer",
     "SoftmaxLayer",
     "SoftmaxLossLayer",
     "SolverParameters",
     "TanhLayer",
+    "Tracer",
     "add_connections",
     "all_to_all",
     "evaluate",

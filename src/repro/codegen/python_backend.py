@@ -29,6 +29,8 @@ from repro.ir import (
     ExternOp,
     Gemm,
     Index,
+    buffers_read,
+    buffers_written,
     walk_exprs,
 )
 from repro.synthesis.units import FusedGroup, LoopSpec, LoopUnit
@@ -44,6 +46,14 @@ class Step:
     comm: Optional[CommCall] = None
     recurrent_reads: frozenset = frozenset()
     label: str = ""
+    #: buffer names this step reads / writes (compile-time metadata for
+    #: the tracer's bytes-touched accounting; externs report what they
+    #: declare)
+    reads: frozenset = frozenset()
+    writes: frozenset = frozenset()
+    #: multiply-add FLOPs of pattern-matched GEMMs in this step (2*M*N*K
+    #: per Gemm, derived from the matched loop extents)
+    flops: int = 0
 
 
 @dataclass
@@ -77,6 +87,27 @@ def _collect_buffers(unit: LoopUnit) -> set:
     elif isinstance(stmt, ExternOp):
         pass  # externs receive the whole buffer dict
     return names
+
+
+def _gemm_flops(gemm: Gemm) -> int:
+    """2*M*N*K of a pattern-matched Gemm; 0 when extents are symbolic."""
+    try:
+        m, n, k = (int(x) for x in gemm.mnk)
+    except (TypeError, ValueError):
+        return 0
+    return 2 * m * n * k
+
+
+def _group_metadata(group: FusedGroup):
+    """(reads, writes, flops) for one fused group's member statements."""
+    reads, writes = set(), set()
+    flops = 0
+    for u in group.units:
+        reads |= buffers_read(u.stmt)
+        writes |= buffers_written(u.stmt)
+        if isinstance(u.stmt, Gemm):
+            flops += _gemm_flops(u.stmt)
+    return frozenset(reads), frozenset(writes), flops
 
 
 def _gemm_rhs(subscripts: str, a: str, b: str) -> str:
@@ -202,6 +233,7 @@ def compile_items(
                         kind="comm",
                         comm=item,
                         label=f"async_grad_reduce({item.ensemble})",
+                        reads=frozenset(item.params),
                     )
                 )
                 continue
@@ -210,12 +242,16 @@ def compile_items(
             lines.append(f"# --- {tag} {item.label}")
             _emit_group(item, name, vectorize, lines)
             lines.append("")
+            reads, writes, flops = _group_metadata(item)
             steps[tag].append(
                 Step(
                     name=name,
                     kind="task",
                     recurrent_reads=item.recurrent_reads,
                     label=item.label,
+                    reads=reads,
+                    writes=writes,
+                    flops=flops,
                 )
             )
     source = _PRELUDE + "\n".join(lines)

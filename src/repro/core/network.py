@@ -113,16 +113,17 @@ class Net:
 
     # -- compilation -----------------------------------------------------
 
-    def init(self, options: Optional[object] = None):
+    def init(self, options: Optional[object] = None, tracer=None):
         """Compile the network and allocate buffers (the paper's ``init``).
 
         Returns a :class:`~repro.runtime.executor.CompiledNet`. ``options``
         is a :class:`~repro.optim.pipeline.CompilerOptions`; the default
-        applies every optimization (opt level O4).
+        applies every optimization (opt level O4). ``tracer`` (see
+        :mod:`repro.trace`) enables runtime and compile-time tracing.
         """
         from repro.optim.pipeline import compile_net
 
-        return compile_net(self, options)
+        return compile_net(self, options, tracer=tracer)
 
 
 def add_connections(net: Net, source, sink, mapping, recurrent: bool = False):
@@ -131,6 +132,6 @@ def add_connections(net: Net, source, sink, mapping, recurrent: bool = False):
     return net.add_connections(source, sink, mapping, recurrent=recurrent)
 
 
-def init(net: Net, options=None):
+def init(net: Net, options=None, tracer=None):
     """Module-level spelling of :meth:`Net.init`."""
-    return net.init(options)
+    return net.init(options, tracer=tracer)

@@ -42,9 +42,9 @@ class BuiltModel:
     output: object  # ensemble producing class scores (or last ensemble)
     loss: Optional[object]
 
-    def init(self, options=None):
+    def init(self, options=None, tracer=None):
         """Compile the network (the paper's ``init``)."""
-        return self.net.init(options)
+        return self.net.init(options, tracer=tracer)
 
 
 def build_latte(config: ModelConfig, batch_size: int,

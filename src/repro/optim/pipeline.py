@@ -18,12 +18,26 @@ O3 +in-place&parallel → O4 +tiling&fusion (the full compiler).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 
 from repro.codegen import c_backend, python_backend
+from repro.ir import Gemm
 from repro.optim import first_writer, fusion, parallel, pattern_match, tiling
 from repro.synthesis.lower import synthesize
 from repro.synthesis.plan import plan_buffers
+from repro.trace import NULL_TRACER
+from repro.trace.compile_report import (
+    CompileReport,
+    PassRecord,
+    count_gemms,
+    count_inlined,
+    count_kind,
+    count_parallel,
+    count_schedule,
+    count_tiled,
+    count_units,
+)
 
 
 @dataclass
@@ -61,43 +75,151 @@ class CompilerOptions:
 OPT_LEVELS = {f"O{n}": CompilerOptions.level(n) for n in range(5)}
 
 
-def compile_net(net, options: CompilerOptions | None = None):
+def _count_gemm_stores(sections) -> int:
+    """Non-accumulating GEMMs (first-writer's store-forwarding result)."""
+    return sum(
+        1
+        for sec in sections
+        for u in sec.units
+        if isinstance(u.stmt, Gemm) and not u.stmt.accumulate
+    )
+
+
+def compile_net(net, options: CompilerOptions | None = None, tracer=None):
     """Compile a :class:`~repro.core.network.Net` into a
-    :class:`~repro.runtime.executor.CompiledNet`."""
+    :class:`~repro.runtime.executor.CompiledNet`.
+
+    ``tracer`` (a :class:`repro.trace.Tracer`) is attached to the
+    returned network and additionally receives one ``compile``-category
+    span per compiler pass. Independent of the tracer, every pass is
+    instrumented into a :class:`repro.trace.CompileReport` — wall time,
+    unit counts before/after, and rewrite counters — exposed as
+    ``CompiledNet.compile_report``.
+    """
     from repro.runtime.executor import CompiledNet
 
     options = options or CompilerOptions()
-    plan = plan_buffers(net, options)
-    program = synthesize(net, plan, options)
+    tracer = tracer if tracer is not None else NULL_TRACER
+    report = CompileReport()
 
-    if options.fusion:
-        fusion.inline_copies(program.forward, program.backward, plan)
-    if options.pattern_match:
-        pattern_match.run(program.forward)
-        pattern_match.run(program.backward)
-        if net.time_steps == 1:
-            # first-writer forwarding assumes each buffer is produced
-            # once per pass; time-unrolled nets re-execute the program
-            # per step and carry recurrent scatters across iterations
-            first_writer.run(program.forward, plan)
-            first_writer.run(program.backward, plan)
-    if options.tiling:
-        tiling.run(program.forward, plan, options.n_tiles,
-                   options.min_tile_rows)
-        tiling.run(program.backward, plan, options.n_tiles,
-                   options.min_tile_rows)
+    def run_pass(name, enabled, fn, rewrites, before=None, after=None):
+        """Run one (possibly disabled) pass under instrumentation.
 
-    fwd_items = fusion.build_schedule(program.forward, plan, options)
-    bwd_items = fusion.build_schedule(program.backward, plan, options)
-    if options.parallel:
-        parallel.run(fwd_items)
-        parallel.run(bwd_items)
+        ``before``/``after`` are unit-count callables; ``rewrites``
+        computes the pass's counter dict from its observed effects.
+        """
+        sections = (program.forward, program.backward)
+        n_before = (before or (lambda: sum(map(count_units, sections))))()
+        t0 = time.perf_counter()
+        result = None
+        if enabled:
+            with tracer.span(name, "compile"):
+                result = fn()
+        dt = time.perf_counter() - t0
+        n_after = (after or (lambda: sum(map(count_units, sections))))()
+        report.add(PassRecord(
+            name, enabled, dt if enabled else 0.0, n_before, n_after,
+            rewrites() if enabled else {},
+        ))
+        return result
 
-    compiled = python_backend.compile_items(
-        fwd_items, bwd_items, program.closures, options.vectorize
+    with tracer.span("plan+synthesize", "compile"):
+        plan = plan_buffers(net, options)
+        program = synthesize(net, plan, options)
+
+    run_pass(
+        "copy_inline",
+        options.fusion,
+        lambda: fusion.inline_copies(program.forward, program.backward, plan),
+        lambda: {"copies_inlined": count_inlined(plan)},
     )
-    if options.emit_c:
-        compiled.c_source = c_backend.render_items(
-            fwd_items, "forward"
-        ) + c_backend.render_items(bwd_items, "backward")
-    return CompiledNet(net, plan, compiled, options)
+
+    gemms_before = count_gemms(program.forward) + count_gemms(program.backward)
+    run_pass(
+        "pattern_match",
+        options.pattern_match,
+        lambda: (pattern_match.run(program.forward),
+                 pattern_match.run(program.backward)),
+        lambda: {"gemms_matched":
+                 count_gemms(program.forward)
+                 + count_gemms(program.backward) - gemms_before},
+    )
+
+    # first-writer forwarding assumes each buffer is produced once per
+    # pass; time-unrolled nets re-execute the program per step and carry
+    # recurrent scatters across iterations
+    fw_enabled = options.pattern_match and net.time_steps == 1
+    fills_before = (count_kind(program.forward, "fill")
+                    + count_kind(program.backward, "fill"))
+    stores_before = (_count_gemm_stores(program.forward)
+                     + _count_gemm_stores(program.backward))
+    run_pass(
+        "first_writer",
+        fw_enabled,
+        lambda: (first_writer.run(program.forward, plan),
+                 first_writer.run(program.backward, plan)),
+        lambda: {
+            "fills_dropped": fills_before
+            - count_kind(program.forward, "fill")
+            - count_kind(program.backward, "fill"),
+            "gemm_stores_forwarded": _count_gemm_stores(program.forward)
+            + _count_gemm_stores(program.backward) - stores_before,
+        },
+    )
+
+    run_pass(
+        "tiling",
+        options.tiling,
+        lambda: (tiling.run(program.forward, plan, options.n_tiles,
+                            options.min_tile_rows),
+                 tiling.run(program.backward, plan, options.n_tiles,
+                            options.min_tile_rows)),
+        lambda: {"units_tiled": count_tiled(program.forward)
+                 + count_tiled(program.backward)},
+    )
+
+    # the schedule is always built; cross-layer merging inside it is what
+    # options.fusion gates, so the pass record reflects the merge effect
+    schedule = {}
+
+    def build():
+        schedule["fwd"] = fusion.build_schedule(program.forward, plan, options)
+        schedule["bwd"] = fusion.build_schedule(program.backward, plan, options)
+
+    units_total = count_units(program.forward) + count_units(program.backward)
+    t0 = time.perf_counter()
+    with tracer.span("fusion", "compile"):
+        build()
+    dt = time.perf_counter() - t0
+    counts = {
+        k: count_schedule(schedule["fwd"])[k]
+        + count_schedule(schedule["bwd"])[k]
+        for k in ("steps", "fused_groups", "fused_units")
+    }
+    report.add(PassRecord(
+        "fusion", options.fusion, dt, units_total, counts["steps"],
+        {"fused_groups": counts["fused_groups"],
+         "fused_units": counts["fused_units"]} if options.fusion else {},
+    ))
+    fwd_items, bwd_items = schedule["fwd"], schedule["bwd"]
+
+    run_pass(
+        "parallel",
+        options.parallel,
+        lambda: (parallel.run(fwd_items), parallel.run(bwd_items)),
+        lambda: {"loops_annotated": count_parallel(fwd_items)
+                 + count_parallel(bwd_items)},
+        before=lambda: counts["steps"],
+        after=lambda: counts["steps"],
+    )
+
+    with tracer.span("codegen", "compile"):
+        compiled = python_backend.compile_items(
+            fwd_items, bwd_items, program.closures, options.vectorize
+        )
+        if options.emit_c:
+            compiled.c_source = c_backend.render_items(
+                fwd_items, "forward"
+            ) + c_backend.render_items(bwd_items, "backward")
+    return CompiledNet(net, plan, compiled, options, tracer=tracer,
+                       compile_report=report)

@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.runtime.netsim import NetworkModel
+from repro.trace import NULL_TRACER
 
 
 # ---------------------------------------------------------------------------
@@ -139,21 +140,35 @@ def _profile_once(cnet, inputs, repeats):
 
 
 class ClusterSimulator:
-    """Discrete-event model of overlapped async gradient summation."""
+    """Discrete-event model of overlapped async gradient summation.
+
+    With a :class:`repro.trace.RecordingTracer` attached, each
+    :meth:`iteration_time` call emits its compute segments
+    (``sim.compute``) and every allreduce (``sim.comm``) as spans on the
+    simulator's *virtual* timeline, making the Fig. 17-19 comm/compute
+    overlap story directly inspectable in the Chrome trace viewer.
+    """
 
     def __init__(self, profile: ComputeProfile, network: NetworkModel,
-                 n_nodes: int):
+                 n_nodes: int, tracer=None):
         if n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
         self.profile = profile
         self.network = network
         self.n_nodes = n_nodes
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def iteration_time(self, batch_per_node: int) -> float:
         """Virtual seconds for one data-parallel training iteration."""
         p = self.profile
+        tracer = self.tracer
         t = p.forward_time(batch_per_node)
         bwd = p.backward_time(batch_per_node)
+        if tracer.enabled:
+            tracer.add_span("forward", "sim.compute", 0.0, t,
+                            nodes=self.n_nodes, batch=batch_per_node)
+            tracer.add_span("backward", "sim.compute", t, bwd,
+                            nodes=self.n_nodes, batch=batch_per_node)
         nic_free = t
         last_comm = t
         for point in p.comm_points:
@@ -162,6 +177,13 @@ class ClusterSimulator:
             finish = start + self.network.allreduce_time(
                 point.grad_bytes, self.n_nodes
             )
+            if tracer.enabled:
+                tracer.add_span(
+                    f"allreduce({point.ensemble})", "sim.comm",
+                    start, finish - start,
+                    bytes=point.grad_bytes, issued_at=issue,
+                    nodes=self.n_nodes,
+                )
             nic_free = finish
             last_comm = finish
         compute_done = t + bwd

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.ensemble import DataEnsemble
 from repro.runtime.buffers import allocate
+from repro.trace import NULL_TRACER
 
 #: gradient-role buffers zeroed before every backward pass
 _GRAD_ROLES = ("grad", "grad_input", "padded_grad")
@@ -44,11 +45,17 @@ class ParamView:
 class CompiledNet:
     """An initialized, executable network."""
 
-    def __init__(self, net, plan, compiled, options):
+    def __init__(self, net, plan, compiled, options, tracer=None,
+                 compile_report=None):
         self.net = net
         self.plan = plan
         self.compiled = compiled
         self.options = options
+        #: observability hooks (§7's "where does the time go"): a
+        #: Tracer (NullTracer by default — the untraced hot loops are
+        #: untouched) and the per-pass compilation record
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.compile_report = compile_report
         self.buffers = allocate(plan)
         self.batch_size = net.batch_size
         self.time_steps = net.time_steps
@@ -73,8 +80,76 @@ class CompiledNet:
             for p in plan.params
         ]
         self._zeros_cache: Dict[str, np.ndarray] = {}
+        self._step_bytes: Dict[str, int] = {}
 
     # -- introspection ------------------------------------------------------
+
+    def step_bytes(self, step) -> int:
+        """Bytes touched by one step, computed once from the buffer plan
+        (sum of the allocated sizes of its read/write sets)."""
+        cached = self._step_bytes.get(step.name)
+        if cached is None:
+            cached = sum(
+                self.buffers[b].nbytes
+                for b in (step.reads | step.writes)
+                if b in self.buffers
+            )
+            self._step_bytes[step.name] = cached
+        return cached
+
+    def summary(self) -> str:
+        """Parameter counts, buffer table size, and step counts per phase."""
+        n_params = sum(p.value.size for p in self._params)
+        seen, buf_bytes = set(), 0
+        for name, spec in self.plan.buffers.items():
+            base = self.plan.resolve_alias(name)
+            if base in seen or base not in self.buffers:
+                continue
+            seen.add(base)
+            buf_bytes += self.buffers[base].nbytes
+        lines = [
+            f"CompiledNet: {len(self.net.ensembles)} ensembles, "
+            f"batch {self.batch_size}"
+            + (f", {self.time_steps} time steps" if self.time_steps > 1
+               else ""),
+            f"  parameters : {n_params:,} floats "
+            f"({4 * n_params / 1e6:.2f} MB) in {len(self._params)} tensors",
+            f"  buffers    : {len(seen)} arrays, {buf_bytes / 1e6:.2f} MB",
+        ]
+        for phase in ("forward", "backward"):
+            steps = getattr(self.compiled, phase)
+            tasks = sum(1 for s in steps if s.kind == "task")
+            comms = sum(1 for s in steps if s.kind == "comm")
+            fused = sum(1 for s in steps if "+" in s.label)
+            lines.append(
+                f"  {phase:10s} : {tasks} task steps"
+                + (f" ({fused} fused)" if fused else "")
+                + (f", {comms} comm" if comms else "")
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        n_params = sum(p.value.size for p in self._params)
+        tasks = sum(
+            1
+            for phase in (self.compiled.forward, self.compiled.backward)
+            for s in phase
+            if s.kind == "task"
+        )
+        return (
+            f"<CompiledNet ensembles={len(self.net.ensembles)} "
+            f"batch={self.batch_size} params={n_params:,} steps={tasks}>"
+        )
+
+    def profile(self):
+        """Aggregate the attached tracer's recorded spans
+        (:class:`~repro.trace.report.ProfileReport`)."""
+        if not self.tracer.enabled:
+            raise RuntimeError(
+                "profile() needs a RecordingTracer; compile with "
+                "compile_net(net, options, tracer=RecordingTracer())"
+            )
+        return self.tracer.profile()
 
     @property
     def source(self) -> str:
@@ -172,6 +247,9 @@ class CompiledNet:
         for name, arr in inputs.items():
             self.set_input(name, arr)
         self._losses.clear()
+        if self.tracer.enabled:
+            self._forward_traced()
+            return self.loss
         for t in range(self.time_steps):
             self.current_t = t
             for step in self.compiled.forward:
@@ -183,6 +261,9 @@ class CompiledNet:
     def backward(self) -> None:
         """Run back-propagation (call after :meth:`forward`)."""
         self._zero_grads()
+        if self.tracer.enabled:
+            self._backward_traced()
+            return
         for t in reversed(range(self.time_steps)):
             self.current_t = t
             for step in self.compiled.backward:
@@ -192,6 +273,44 @@ class CompiledNet:
                         self.comm_hook(step.comm.ensemble, grads)
                     continue
                 step.fn(self._views(t, step.recurrent_reads), self)
+
+    def _forward_traced(self) -> None:
+        """Forward pass emitting one span per executed task step."""
+        tracer = self.tracer
+        for t in range(self.time_steps):
+            self.current_t = t
+            for step in self.compiled.forward:
+                if step.kind == "comm":
+                    continue
+                token = tracer.begin(
+                    step.label, "forward", t=t, kind=step.kind,
+                    bytes=self.step_bytes(step), flops=step.flops,
+                )
+                step.fn(self._views(t, step.recurrent_reads), self)
+                tracer.end(token)
+
+    def _backward_traced(self) -> None:
+        """Backward pass emitting task and comm-hook spans."""
+        tracer = self.tracer
+        for t in reversed(range(self.time_steps)):
+            self.current_t = t
+            for step in self.compiled.backward:
+                if step.kind == "comm":
+                    if t == 0 and self.comm_hook is not None:
+                        token = tracer.begin(
+                            step.label, "comm", t=t, kind="comm",
+                            bytes=self.step_bytes(step),
+                        )
+                        grads = [self.buffers[g] for g in step.comm.params]
+                        self.comm_hook(step.comm.ensemble, grads)
+                        tracer.end(token)
+                    continue
+                token = tracer.begin(
+                    step.label, "backward", t=t, kind=step.kind,
+                    bytes=self.step_bytes(step), flops=step.flops,
+                )
+                step.fn(self._views(t, step.recurrent_reads), self)
+                tracer.end(token)
 
     def _zero_grads(self) -> None:
         for name, spec in self.plan.buffers.items():

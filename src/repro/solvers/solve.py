@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
 from repro.layers.metrics import top1_accuracy
+from repro.trace import NULL_TRACER
 from repro.utils.rng import get_rng
 
 
@@ -71,6 +73,7 @@ def solve(
     epochs: Optional[int] = None,
     shuffle: bool = True,
     rng=None,
+    tracer=None,
 ) -> TrainHistory:
     """Train ``cnet`` on ``train`` with ``solver``.
 
@@ -78,28 +81,49 @@ def solve(
     forward → backward → update over shuffled mini-batches, optionally
     evaluating top-1 accuracy on ``test`` after each epoch when
     ``output_ens`` names the score-producing ensemble.
+
+    ``tracer`` records per-epoch loss/accuracy/iteration-time metrics
+    plus one ``train``-category span per epoch; it defaults to the
+    network's attached tracer so step spans and training metrics land on
+    the same timeline.
     """
     rng = rng or get_rng()
     epochs = epochs if epochs is not None else solver.params.max_epoch
+    if tracer is None:
+        tracer = getattr(cnet, "tracer", None) or NULL_TRACER
     hist = TrainHistory()
     cnet.training = True
     for _epoch in range(epochs):
-        epoch_loss, n_batches = 0.0, 0
+        token = tracer.begin("epoch", "train", epoch=_epoch)
+        epoch_loss, n_batches, iter_time = 0.0, 0, 0.0
         for sel in _batches(len(train), cnet.batch_size, rng, shuffle):
+            t0 = time.perf_counter() if tracer.enabled else 0.0
             loss = cnet.forward(**{data_name: train.data[sel],
                                    label_name: train.labels[sel]})
             cnet.clear_param_grads()
             cnet.backward()
             solver.update(cnet)
+            if tracer.enabled:
+                iter_time += time.perf_counter() - t0
             epoch_loss += loss
             n_batches += 1
-        hist.losses.append(epoch_loss / max(n_batches, 1))
+        mean_loss = epoch_loss / max(n_batches, 1)
+        hist.losses.append(mean_loss)
+        tracer.metric("epoch_loss", mean_loss, epoch=_epoch)
+        if tracer.enabled:
+            tracer.metric("iteration_time",
+                          iter_time / max(n_batches, 1), epoch=_epoch)
         if output_ens is not None:
             hist.train_accuracy.append(
                 evaluate(cnet, train, output_ens, data_name, label_name)
             )
+            tracer.metric("train_accuracy", hist.train_accuracy[-1],
+                          epoch=_epoch)
             if test is not None:
                 hist.test_accuracy.append(
                     evaluate(cnet, test, output_ens, data_name, label_name)
                 )
+                tracer.metric("test_accuracy", hist.test_accuracy[-1],
+                              epoch=_epoch)
+        tracer.end(token)
     return hist

@@ -1,0 +1,128 @@
+"""Runtime profile aggregation and the paper-style printed table.
+
+Turns the flat span stream of a :class:`~repro.trace.tracer.
+RecordingTracer` into per-step and per-ensemble attributions: for each
+(phase, step label) the number of executions, total/mean wall time, share
+of the phase, bytes touched and GEMM FLOPs — the data behind the paper's
+"where does the iteration go" breakdowns (Figs. 13-15).
+
+Fused groups carry labels like ``conv1.compute+relu1.compute+pool1.copy``;
+the per-ensemble rollup credits such a group's time to each member
+ensemble in equal parts (noted in the table), since the runtime cannot
+observe intra-group boundaries — that is precisely what fusion removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.trace.tracer import Span
+
+#: span categories considered runtime execution phases by default
+RUNTIME_PHASES = ("forward", "backward", "comm")
+
+
+@dataclass
+class ProfileRow:
+    """Aggregate of all executions of one step within one phase."""
+
+    phase: str
+    name: str
+    count: int = 0
+    total: float = 0.0
+    bytes: int = 0
+    flops: int = 0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def add(self, span: Span) -> None:
+        self.count += 1
+        self.total += span.dur
+        self.bytes += int(span.args.get("bytes", 0) or 0)
+        self.flops += int(span.args.get("flops", 0) or 0)
+
+
+@dataclass
+class ProfileReport:
+    """Per-step aggregation of a recorded trace."""
+
+    rows: List[ProfileRow] = field(default_factory=list)
+    phase_totals: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_spans(cls, spans: Iterable[Span],
+                   phases: Optional[Sequence[str]] = None) -> "ProfileReport":
+        phases = tuple(phases) if phases is not None else RUNTIME_PHASES
+        keyed: Dict[Tuple[str, str], ProfileRow] = {}
+        for span in spans:
+            if span.cat not in phases:
+                continue
+            row = keyed.get((span.cat, span.name))
+            if row is None:
+                row = keyed[(span.cat, span.name)] = ProfileRow(
+                    span.cat, span.name
+                )
+            row.add(span)
+        rows = sorted(keyed.values(), key=lambda r: -r.total)
+        totals: Dict[str, float] = {}
+        for row in rows:
+            totals[row.phase] = totals.get(row.phase, 0.0) + row.total
+        return cls(rows, totals)
+
+    @property
+    def total(self) -> float:
+        """Wall time attributed to named steps across all phases."""
+        return sum(self.phase_totals.values())
+
+    def phase_rows(self, phase: str) -> List[ProfileRow]:
+        return [r for r in self.rows if r.phase == phase]
+
+    def by_ensemble(self) -> Dict[str, float]:
+        """Total seconds credited per ensemble.
+
+        A fused group's time is split equally across its distinct member
+        ensembles (see module docstring).
+        """
+        out: Dict[str, float] = {}
+        for row in self.rows:
+            members = sorted({part.split(".", 1)[0]
+                              for part in row.name.split("+")})
+            share = row.total / len(members)
+            for m in members:
+                out[m] = out.get(m, 0.0) + share
+        return dict(sorted(out.items(), key=lambda kv: -kv[1]))
+
+    # -- rendering -----------------------------------------------------------
+
+    def table(self, max_rows: Optional[int] = None) -> str:
+        """The paper-style printed breakdown."""
+        lines: List[str] = []
+        name_w = max([len(r.name) for r in self.rows] + [4])
+        name_w = min(name_w, 56)
+        header = (
+            f"{'phase':9s} {'step':{name_w}s} {'count':>5s} "
+            f"{'total(s)':>9s} {'mean(ms)':>9s} {'%phase':>6s} "
+            f"{'MB':>8s} {'GFLOP':>7s}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        shown = self.rows if max_rows is None else self.rows[:max_rows]
+        for r in shown:
+            phase_total = self.phase_totals.get(r.phase, 0.0) or 1e-12
+            lines.append(
+                f"{r.phase:9s} {r.name[:name_w]:{name_w}s} {r.count:5d} "
+                f"{r.total:9.4f} {r.mean * 1e3:9.3f} "
+                f"{100 * r.total / phase_total:5.1f}% "
+                f"{r.bytes / 1e6:8.1f} {r.flops / 1e9:7.2f}"
+            )
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        for phase, total in self.phase_totals.items():
+            lines.append(f"{phase:9s} total {total:.4f}s")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.table()

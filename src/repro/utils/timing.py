@@ -1,28 +1,91 @@
-"""Timing helpers used by the benchmark harness."""
+"""Timing helpers used by the benchmark harness and the runtime."""
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
+from typing import List, Union
 
 
 @dataclass
 class Timer:
-    """Accumulating wall-clock timer usable as a context manager."""
+    """Accumulating wall-clock timer usable as a (re-entrant) context
+    manager.
+
+    Nested ``with`` blocks on the same timer count the outermost interval
+    once — re-entering an in-flight timer used to restart ``_start`` and
+    silently corrupt ``elapsed``.
+    """
 
     elapsed: float = 0.0
     _start: float = field(default=0.0, repr=False)
+    _depth: int = field(default=0, repr=False)
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        if self._depth == 0:
+            self._start = time.perf_counter()
+        self._depth += 1
         return self
 
     def __exit__(self, *exc) -> None:
-        self.elapsed += time.perf_counter() - self._start
+        self._depth -= 1
+        if self._depth == 0:
+            self.elapsed += time.perf_counter() - self._start
+
+    def reset(self) -> None:
+        """Zero the accumulated time (and abandon any open interval)."""
+        self.elapsed = 0.0
+        self._depth = 0
+        self._start = 0.0
 
 
-def measure_median(fn, repeats: int = 5, warmup: int = 1) -> float:
-    """Median wall-clock seconds of ``fn()`` over ``repeats`` runs."""
+@dataclass
+class TimingStats:
+    """All samples of a repeated measurement, for noise reporting."""
+
+    samples: List[float]
+
+    @property
+    def min(self) -> float:
+        return min(self.samples)
+
+    @property
+    def max(self) -> float:
+        return max(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def median(self) -> float:
+        ordered = sorted(self.samples)
+        return ordered[len(ordered) // 2]
+
+    @property
+    def stddev(self) -> float:
+        mu = self.mean
+        return math.sqrt(
+            sum((s - mu) ** 2 for s in self.samples) / len(self.samples)
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"median {self.median * 1e3:.3f}ms  min {self.min * 1e3:.3f}ms  "
+            f"stddev {self.stddev * 1e3:.3f}ms  (n={len(self.samples)})"
+        )
+
+
+def measure_median(fn, repeats: int = 5, warmup: int = 1,
+                   full: bool = False) -> Union[float, TimingStats]:
+    """Median wall-clock seconds of ``fn()`` over ``repeats`` runs.
+
+    With ``full=True`` returns the :class:`TimingStats` over all samples
+    (min/median/stddev) instead of the bare median.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
     for _ in range(warmup):
         fn()
     times = []
@@ -30,5 +93,5 @@ def measure_median(fn, repeats: int = 5, warmup: int = 1) -> float:
         start = time.perf_counter()
         fn()
         times.append(time.perf_counter() - start)
-    times.sort()
-    return times[len(times) // 2]
+    stats = TimingStats(times)
+    return stats if full else stats.median

@@ -7,6 +7,7 @@ import pytest
 
 from repro.utils import (
     Timer,
+    TimingStats,
     constant_init,
     conv_output_dim,
     gaussian_init,
@@ -84,3 +85,34 @@ class TestTiming:
 
     def test_measure_median_positive(self):
         assert measure_median(lambda: sum(range(100)), repeats=3) >= 0
+
+    def test_timer_reset(self):
+        t = Timer()
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed > 0
+        t.reset()
+        assert t.elapsed == 0.0
+
+    def test_timer_nested_reentry_counts_outer_span_once(self):
+        t = Timer()
+        with t:
+            with t:  # inner re-entry must not double-count
+                time.sleep(0.01)
+            time.sleep(0.01)
+        assert 0.02 <= t.elapsed < 0.04
+
+    def test_measure_median_full_returns_stats(self):
+        stats = measure_median(lambda: time.sleep(0.002), repeats=5,
+                               full=True)
+        assert isinstance(stats, TimingStats)
+        assert len(stats.samples) == 5
+        assert stats.min <= stats.median <= stats.max
+        assert stats.stddev >= 0
+        assert "median" in str(stats)
+        # the plain call returns just the median of the same measurement
+        assert stats.median == sorted(stats.samples)[2]
+
+    def test_measure_median_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            measure_median(lambda: None, repeats=0)
