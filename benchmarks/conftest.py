@@ -3,5 +3,23 @@
 import sys
 import os
 
+import pytest
+
 # make `harness` importable when pytest runs from the repository root
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--threads",
+        type=int,
+        default=1,
+        help="executor thread counts to benchmark in addition to serial; "
+        "e.g. --threads 4 adds num_threads=4 rows to Fig 13/14",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_threads(request):
+    """Thread count from ``--threads`` (1 = serial-only benchmarks)."""
+    return max(1, request.config.getoption("--threads"))

@@ -60,10 +60,12 @@ def make_inputs(config: ModelConfig, batch: int, seed: int = 0):
 
 
 def latte_net(config: ModelConfig, batch: int, level: int = 4,
-              options: CompilerOptions | None = None):
+              options: CompilerOptions | None = None,
+              num_threads: int = 1):
     seed_all(1)
     built = build_latte(config, batch)
-    cnet = built.init(options or CompilerOptions.level(level))
+    cnet = built.init(options or CompilerOptions.level(level),
+                      num_threads=num_threads)
     cnet.training = False  # benchmark without dropout randomness
     return cnet
 
@@ -83,11 +85,12 @@ class Runners:
 
     def __init__(self, config: ModelConfig, batch: int, level: int = 4,
                  baseline_cls=CaffeNet,
-                 options: CompilerOptions | None = None):
+                 options: CompilerOptions | None = None,
+                 num_threads: int = 1):
         self.config = config
         self.batch = batch
         self.x, self.y = make_inputs(config, batch)
-        self.cnet = latte_net(config, batch, level, options)
+        self.cnet = latte_net(config, batch, level, options, num_threads)
         self.base = baseline_net(config, batch, baseline_cls, self.cnet)
         self.has_loss = any(
             type(s).__name__ == "SoftmaxLossSpec" for s in config.layers

@@ -14,6 +14,8 @@ cross-layer fusion + copy elimination). The *shape* asserted: Latte O4
 beats the baseline in every phase and O4 ≥ O3.
 """
 
+import os
+
 import pytest
 
 from harness import BENCH_GEOMETRY, Runners, median_time, report
@@ -26,7 +28,7 @@ def _config():
 
 
 @pytest.fixture(scope="module")
-def results():
+def results(bench_threads):
     cfg, batch = _config()
     caffe = Runners(cfg, batch, level=4)  # baseline timings from one pair
     base_t = {
@@ -36,9 +38,13 @@ def results():
         "fwd+bwd": median_time(caffe.base_fwd_bwd),
     }
     out = {"caffe": base_t}
-    for name, lvl in (("latte-parallelized(O3)", 3),
-                      ("latte-optimized(O4)", 4)):
-        r = Runners(cfg, batch, level=lvl)
+    configs = [("latte-parallelized(O3)", 3, 1), ("latte-optimized(O4)", 4, 1)]
+    if bench_threads > 1:
+        # the --threads axis: the same two ladder points, batch-sharded
+        configs += [(f"latte-O3-t{bench_threads}", 3, bench_threads),
+                    (f"latte-O4-t{bench_threads}", 4, bench_threads)]
+    for name, lvl, nt in configs:
+        r = Runners(cfg, batch, level=lvl, num_threads=nt)
         fwd = median_time(r.latte_forward)
         both = median_time(r.latte_fwd_bwd)
         out[name] = {"forward": fwd, "backward": both - fwd,
@@ -50,7 +56,9 @@ def results():
             f"{name:28s} {t['forward']*1e3:8.1f}ms {t['backward']*1e3:8.1f}ms "
             f"{t['fwd+bwd']*1e3:8.1f}ms"
         )
-    for name in ("latte-parallelized(O3)", "latte-optimized(O4)"):
+    for name in out:
+        if name == "caffe":
+            continue
         lines.append(
             f"speedup {name:20s} "
             + " ".join(
@@ -77,6 +85,28 @@ def test_fig13_caffe_baseline(benchmark, results):
     cfg, batch = _config()
     r = Runners(cfg, batch, level=4)
     benchmark(r.base_fwd_bwd)
+
+
+def test_fig13_threads_scaling(results, bench_threads):
+    """With ``--threads N`` (N > 1), the batch-sharded executor speeds up
+    O3 fwd+bwd over serial O3. The speedup floor only holds on machines
+    that actually have the cores; a 1-CPU container time-slices the
+    shards and can only show parity."""
+    if bench_threads <= 1:
+        pytest.skip("pass --threads N (N > 1) to benchmark the thread axis")
+    threaded = results[f"latte-O3-t{bench_threads}"]["fwd+bwd"]
+    serial = results["latte-parallelized(O3)"]["fwd+bwd"]
+    if (os.cpu_count() or 1) >= bench_threads:
+        assert serial / threaded >= 1.5, (
+            f"O3 at {bench_threads} threads: {serial/threaded:.2f}x over "
+            f"serial O3 (expected >= 1.5x on a {os.cpu_count()}-core host)"
+        )
+    else:
+        # oversubscribed: sharding overhead must stay modest
+        assert threaded <= serial * 2.0, (
+            f"thread overhead too high on {os.cpu_count()} CPU(s): "
+            f"serial={serial:.3f}s threaded={threaded:.3f}s"
+        )
 
 
 def test_fig13_optimizations_help(results):

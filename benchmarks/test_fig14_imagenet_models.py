@@ -28,7 +28,7 @@ def _config(name):
 
 
 @pytest.fixture(scope="module")
-def speedups():
+def speedups(bench_threads):
     out = {}
     for name in FACTORIES:
         cfg, batch = _config(name)
@@ -36,12 +36,23 @@ def speedups():
         tl = median_time(r.latte_fwd_bwd, repeats=3)
         tc = median_time(r.base_fwd_bwd, repeats=3)
         out[name] = (tl, tc, tc / tl)
+    threaded = {}
+    if bench_threads > 1:
+        # the --threads axis: full-model iteration with batch sharding
+        for name in FACTORIES:
+            cfg, batch = _config(name)
+            r = Runners(cfg, batch, num_threads=bench_threads)
+            threaded[name] = median_time(r.latte_fwd_bwd, repeats=3)
     lines = [f"{'model':10s} {'latte':>10s} {'caffe':>10s} {'speedup':>8s} "
              f"{'paper':>8s}"]
     paper = {"alexnet": "5-6x", "overfeat": "3.2x", "vgg": "5-6x"}
     for name, (tl, tc, s) in out.items():
         lines.append(f"{name:10s} {tl*1e3:8.1f}ms {tc*1e3:8.1f}ms "
                      f"{s:7.2f}x {paper[name]:>8s}")
+    for name, tt in threaded.items():
+        tl = out[name][0]
+        lines.append(f"{name:10s} t={bench_threads}: {tt*1e3:8.1f}ms "
+                     f"({tl/tt:.2f}x over serial latte)")
     report("fig14_imagenet_models", lines)
     return out
 

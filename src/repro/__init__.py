@@ -70,7 +70,7 @@ from repro.layers import (
     TanhLayer,
     top1_accuracy,
 )
-from repro.optim import OPT_LEVELS, CompilerOptions
+from repro.optim import OPT_LEVELS, CompilerOptions, compile_net
 from repro.runtime import CompiledNet
 from repro.solvers import (
     SGD,
@@ -145,6 +145,7 @@ __all__ = [
     "Tracer",
     "add_connections",
     "all_to_all",
+    "compile_net",
     "evaluate",
     "init",
     "one_to_one",

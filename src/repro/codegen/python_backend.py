@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -29,11 +30,17 @@ from repro.ir import (
     ExternOp,
     Gemm,
     Index,
+    SliceExpr,
+    Var,
     buffers_read,
     buffers_written,
     walk_exprs,
 )
-from repro.synthesis.units import FusedGroup, LoopSpec, LoopUnit
+from repro.synthesis.lower import BATCH_VAR
+from repro.synthesis.units import FusedGroup, LoopSpec, LoopUnit, ShardInfo
+
+#: batch-bound parameters of shard-parameterized step functions
+SHARD_LO, SHARD_HI = "_b0", "_b1"
 
 
 @dataclass
@@ -54,6 +61,12 @@ class Step:
     #: multiply-add FLOPs of pattern-matched GEMMs in this step (2*M*N*K
     #: per Gemm, derived from the matched loop extents)
     flops: int = 0
+    #: True when the step function takes ``(_b0, _b1)`` batch bounds and
+    #: may be split into concurrent batch shards (see repro.optim.parallel)
+    shardable: bool = False
+    #: buffer name -> 'add' | 'store': batch-invariant accumulation
+    #: targets the executor must privatize per shard and tree-reduce
+    private_accums: Dict[str, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -171,12 +184,46 @@ def _emit_unit(unit: LoopUnit, vectorize: bool, indent: int, lines: List[str]):
     lines.append(f"{pad}{lowered.line}")
 
 
+def _shard_unit(unit: LoopUnit) -> LoopUnit:
+    """Rebuild a unit with its batch extent parameterized by
+    ``(_b0, _b1)`` — batch loops get the shard bounds, and Gemm axes the
+    pattern matcher consumed from the batch loop become partial slices
+    (the same re-splitting mechanism the tiling pass uses). Originals are
+    left untouched so the C rendering still shows full-batch loops.
+    """
+    loops = [
+        dc_replace(sp, start=Var(SHARD_LO), stop=Var(SHARD_HI))
+        if sp.role == "batch"
+        else sp
+        for sp in unit.loops
+    ]
+    stmt = unit.stmt
+    if isinstance(stmt, Gemm) and BATCH_VAR in stmt.var_axes:
+        shard_slice = SliceExpr(Var(SHARD_LO), Var(SHARD_HI))
+        refs = {"a": stmt.a, "b": stmt.b, "c": stmt.c}
+        for key, axis in stmt.var_axes[BATCH_VAR]:
+            ref = refs[key]
+            indices = list(ref.indices)
+            indices[axis] = shard_slice
+            refs[key] = Index(ref.buffer, tuple(indices))
+        stmt = dc_replace(stmt, a=refs["a"], b=refs["b"], c=refs["c"])
+    return LoopUnit(loops, stmt, unit.tags)
+
+
 def _emit_group(
-    group: FusedGroup, name: str, vectorize: bool, lines: List[str]
+    group: FusedGroup, name: str, vectorize: bool, lines: List[str],
+    shard: Optional[ShardInfo] = None,
 ) -> None:
-    lines.append(f"def {name}(B, rt):")
+    if shard is not None:
+        lines.append(
+            f"def {name}(B, rt, {SHARD_LO}=0, {SHARD_HI}={shard.batch}):"
+        )
+        units = [_shard_unit(u) for u in group.units]
+    else:
+        lines.append(f"def {name}(B, rt):")
+        units = group.units
     buffers = set()
-    for u in group.units:
+    for u in units:
         buffers |= _collect_buffers(u)
     for b in sorted(buffers):
         lines.append(f"    {b} = B[{b!r}]")
@@ -189,7 +236,7 @@ def _emit_group(
         )
         indent = 2
     body_start = len(lines)
-    for u in group.units:
+    for u in units:
         _emit_unit(u, vectorize, indent, lines)
     if len(lines) == body_start and indent == 1 and not buffers:
         lines.append("    pass")
@@ -240,7 +287,8 @@ def compile_items(
             name = f"_step_{tag}{counter}"
             counter += 1
             lines.append(f"# --- {tag} {item.label}")
-            _emit_group(item, name, vectorize, lines)
+            shard = item.shard if isinstance(item, FusedGroup) else None
+            _emit_group(item, name, vectorize, lines, shard)
             lines.append("")
             reads, writes, flops = _group_metadata(item)
             steps[tag].append(
@@ -252,6 +300,10 @@ def compile_items(
                     reads=reads,
                     writes=writes,
                     flops=flops,
+                    shardable=shard is not None,
+                    private_accums=(
+                        dict(shard.private_accums) if shard else {}
+                    ),
                 )
             )
     source = _PRELUDE + "\n".join(lines)

@@ -113,17 +113,22 @@ class Net:
 
     # -- compilation -----------------------------------------------------
 
-    def init(self, options: Optional[object] = None, tracer=None):
+    def init(self, options: Optional[object] = None, tracer=None,
+             num_threads=None):
         """Compile the network and allocate buffers (the paper's ``init``).
 
         Returns a :class:`~repro.runtime.executor.CompiledNet`. ``options``
         is a :class:`~repro.optim.pipeline.CompilerOptions`; the default
         applies every optimization (opt level O4). ``tracer`` (see
         :mod:`repro.trace`) enables runtime and compile-time tracing.
+        ``num_threads`` enables batch-sharded thread-parallel execution
+        of parallel-annotated steps (default: the ``REPRO_NUM_THREADS``
+        environment variable, else serial).
         """
         from repro.optim.pipeline import compile_net
 
-        return compile_net(self, options, tracer=tracer)
+        return compile_net(self, options, tracer=tracer,
+                           num_threads=num_threads)
 
 
 def add_connections(net: Net, source, sink, mapping, recurrent: bool = False):
@@ -132,6 +137,6 @@ def add_connections(net: Net, source, sink, mapping, recurrent: bool = False):
     return net.add_connections(source, sink, mapping, recurrent=recurrent)
 
 
-def init(net: Net, options=None, tracer=None):
+def init(net: Net, options=None, tracer=None, num_threads=None):
     """Module-level spelling of :meth:`Net.init`."""
-    return net.init(options, tracer=tracer)
+    return net.init(options, tracer=tracer, num_threads=num_threads)

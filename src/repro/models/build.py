@@ -42,9 +42,10 @@ class BuiltModel:
     output: object  # ensemble producing class scores (or last ensemble)
     loss: Optional[object]
 
-    def init(self, options=None, tracer=None):
+    def init(self, options=None, tracer=None, num_threads=None):
         """Compile the network (the paper's ``init``)."""
-        return self.net.init(options, tracer=tracer)
+        return self.net.init(options, tracer=tracer,
+                             num_threads=num_threads)
 
 
 def build_latte(config: ModelConfig, batch_size: int,

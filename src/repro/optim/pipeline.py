@@ -18,6 +18,7 @@ O3 +in-place&parallel → O4 +tiling&fusion (the full compiler).
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, replace
 
@@ -85,21 +86,48 @@ def _count_gemm_stores(sections) -> int:
     )
 
 
-def compile_net(net, options: CompilerOptions | None = None, tracer=None):
+def resolve_num_threads(num_threads=None) -> int:
+    """Executor thread count: explicit argument, else the
+    ``REPRO_NUM_THREADS`` environment variable, else 1 (serial)."""
+    if num_threads is None:
+        env = os.environ.get("REPRO_NUM_THREADS", "").strip()
+        num_threads = int(env) if env else 1
+    return max(1, int(num_threads))
+
+
+def compile_net(net, options: CompilerOptions | None = None, tracer=None,
+                num_threads=None):
     """Compile a :class:`~repro.core.network.Net` into a
     :class:`~repro.runtime.executor.CompiledNet`.
 
-    ``tracer`` (a :class:`repro.trace.Tracer`) is attached to the
-    returned network and additionally receives one ``compile``-category
-    span per compiler pass. Independent of the tracer, every pass is
-    instrumented into a :class:`repro.trace.CompileReport` — wall time,
-    unit counts before/after, and rewrite counters — exposed as
-    ``CompiledNet.compile_report``.
+    Parameters
+    ----------
+    net:
+        The network to compile (ensembles + connections, §3).
+    options:
+        A :class:`CompilerOptions`; defaults to every optimization on
+        (opt level O4). ``CompilerOptions.level(n)`` gives the O0..O4
+        ablation ladder.
+    tracer:
+        A :class:`repro.trace.Tracer` attached to the returned network;
+        it additionally receives one ``compile``-category span per
+        compiler pass. Independent of the tracer, every pass is
+        instrumented into a :class:`repro.trace.CompileReport` — wall
+        time, unit counts before/after, and rewrite counters — exposed
+        as ``CompiledNet.compile_report``.
+    num_threads:
+        Executor thread count for batch-sharded parallel execution of
+        steps the parallel pass marks shardable (requires
+        ``options.parallel``, i.e. O3+). Defaults to the
+        ``REPRO_NUM_THREADS`` environment variable, else 1; at 1 the
+        compiled program and its execution are identical to the serial
+        compiler. See DESIGN.md "Parallel execution".
     """
     from repro.runtime.executor import CompiledNet
 
     options = options or CompilerOptions()
     tracer = tracer if tracer is not None else NULL_TRACER
+    num_threads = resolve_num_threads(num_threads)
     report = CompileReport()
 
     def run_pass(name, enabled, fn, rewrites, before=None, after=None):
@@ -206,9 +234,12 @@ def compile_net(net, options: CompilerOptions | None = None, tracer=None):
     run_pass(
         "parallel",
         options.parallel,
-        lambda: (parallel.run(fwd_items), parallel.run(bwd_items)),
+        lambda: (parallel.run(fwd_items, plan, num_threads),
+                 parallel.run(bwd_items, plan, num_threads)),
         lambda: {"loops_annotated": count_parallel(fwd_items)
-                 + count_parallel(bwd_items)},
+                 + count_parallel(bwd_items),
+                 "steps_sharded": parallel.count_sharded(fwd_items)
+                 + parallel.count_sharded(bwd_items)},
         before=lambda: counts["steps"],
         after=lambda: counts["steps"],
     )
@@ -222,4 +253,4 @@ def compile_net(net, options: CompilerOptions | None = None, tracer=None):
                 fwd_items, "forward"
             ) + c_backend.render_items(bwd_items, "backward")
     return CompiledNet(net, plan, compiled, options, tracer=tracer,
-                       compile_report=report)
+                       compile_report=report, num_threads=num_threads)

@@ -72,3 +72,15 @@ def allocate(plan: BufferPlan) -> Dict[str, np.ndarray]:
             )
         remaining = progressed
     return bufs
+
+
+def allocate_private(plan: BufferPlan, num_shards: int) -> Dict[str, np.ndarray]:
+    """Allocate per-shard private accumulators (name → ``(num_shards,
+    *shape)`` array) for every buffer the parallel pass registered via
+    :meth:`~repro.synthesis.plan.BufferPlan.mark_private`. Shard ``w``
+    accumulates into row ``w``; the executor tree-reduces the rows after
+    the shard barrier."""
+    return {
+        name: np.zeros((num_shards,) + acc.shape, DTYPE)
+        for name, acc in plan.private_accums.items()
+    }

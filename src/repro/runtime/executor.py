@@ -10,6 +10,17 @@ forward/backward step lists. It
 * fires the per-ensemble asynchronous gradient-reduction hook at each
   ``CommCall`` (a no-op unless a distributed runtime is attached, §6),
 * exposes parameter/gradient views to solvers.
+
+Compiled with ``num_threads > 1``, steps the parallel pass marked
+batch-shardable execute as contiguous batch shards on a persistent
+thread pool (§5.4.3 realized at runtime; see
+:mod:`repro.runtime.threads`): each shard calls the step function with
+its ``(_b0, _b1)`` batch bounds, buffers named in the step's
+``private_accums`` are swapped for per-shard private accumulators, and
+after the shard barrier the privates are combined by a deterministic
+tree reduction. Everything else — extern steps, comm steps, whole nets
+compiled with the default ``num_threads=1`` — runs exactly the serial
+code path.
 """
 
 from __future__ import annotations
@@ -20,7 +31,8 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.core.ensemble import DataEnsemble
-from repro.runtime.buffers import allocate
+from repro.runtime.buffers import allocate, allocate_private
+from repro.runtime.threads import ShardPool, shard_bounds, tree_reduce
 from repro.trace import NULL_TRACER
 
 #: gradient-role buffers zeroed before every backward pass
@@ -43,10 +55,18 @@ class ParamView:
 
 
 class CompiledNet:
-    """An initialized, executable network."""
+    """An initialized, executable network.
+
+    Produced by :func:`repro.optim.pipeline.compile_net` /
+    :meth:`repro.core.network.Net.init`; owns the runtime buffer table
+    and the compiled step lists. The main entry points are
+    :meth:`forward`, :meth:`backward`, :meth:`parameters` (for solvers),
+    :meth:`value`/:meth:`grad` (per-ensemble arrays), and
+    :meth:`summary`/:meth:`profile`/:attr:`source` for inspection.
+    """
 
     def __init__(self, net, plan, compiled, options, tracer=None,
-                 compile_report=None):
+                 compile_report=None, num_threads=1):
         self.net = net
         self.plan = plan
         self.compiled = compiled
@@ -59,6 +79,27 @@ class CompiledNet:
         self.buffers = allocate(plan)
         self.batch_size = net.batch_size
         self.time_steps = net.time_steps
+        #: thread-parallel execution state: shardable steps split into
+        #: min(num_threads, batch) contiguous batch shards; the pool is
+        #: created lazily on the first sharded step
+        self.num_threads = max(1, int(num_threads))
+        shardable = any(
+            getattr(s, "shardable", False)
+            for phase in (compiled.forward, compiled.backward)
+            for s in phase
+        )
+        self.num_shards = (
+            min(self.num_threads, self.batch_size) if shardable else 1
+        )
+        self._pool: Optional[ShardPool] = None
+        self._shard_bounds = (
+            shard_bounds(self.batch_size, self.num_shards)
+            if self.num_shards > 1 else []
+        )
+        self._shard_accums = (
+            allocate_private(plan, self.num_shards)
+            if self.num_shards > 1 else {}
+        )
         self.training = True
         #: current time step, exposed to extern closures so loss and
         #: normalization layers can stash per-step state
@@ -162,6 +203,8 @@ class CompiledNet:
         return self.compiled.c_source
 
     def parameters(self) -> List[ParamView]:
+        """Views of every trainable parameter: ``(name, ensemble, value,
+        grad, lr_mult)`` tuples solvers iterate to apply updates."""
         return list(self._params)
 
     def value(self, ens_name: str) -> np.ndarray:
@@ -170,6 +213,8 @@ class CompiledNet:
         return self.buffers[f"{ens_name}_value"]
 
     def grad(self, ens_name: str) -> np.ndarray:
+        """The gradient array of an ensemble (layout mirrors
+        :meth:`value`)."""
         return self.buffers[f"{ens_name}_grad"]
 
     @property
@@ -178,6 +223,8 @@ class CompiledNet:
         return sum(self._losses.values())
 
     def record_loss(self, name: str, value: float) -> None:
+        """Accumulate a loss ensemble's contribution for this forward
+        pass (called from generated loss-layer closures)."""
         self._losses[name] = self._losses.get(name, 0.0) + value
 
     # -- data feeding --------------------------------------------------------
@@ -247,6 +294,9 @@ class CompiledNet:
         for name, arr in inputs.items():
             self.set_input(name, arr)
         self._losses.clear()
+        if self.num_shards > 1:
+            self._forward_parallel()
+            return self.loss
         if self.tracer.enabled:
             self._forward_traced()
             return self.loss
@@ -261,6 +311,9 @@ class CompiledNet:
     def backward(self) -> None:
         """Run back-propagation (call after :meth:`forward`)."""
         self._zero_grads()
+        if self.num_shards > 1:
+            self._backward_parallel()
+            return
         if self.tracer.enabled:
             self._backward_traced()
             return
@@ -311,6 +364,115 @@ class CompiledNet:
                 )
                 step.fn(self._views(t, step.recurrent_reads), self)
                 tracer.end(token)
+
+    # -- thread-parallel execution -------------------------------------------
+
+    def _forward_parallel(self) -> None:
+        """Forward pass with shardable steps split across the pool."""
+        for t in range(self.time_steps):
+            self.current_t = t
+            for step in self.compiled.forward:
+                if step.kind == "comm":
+                    continue
+                self._run_step_threaded(step, t, "forward")
+
+    def _backward_parallel(self) -> None:
+        """Backward pass with shardable steps split across the pool."""
+        tracer = self.tracer
+        for t in reversed(range(self.time_steps)):
+            self.current_t = t
+            for step in self.compiled.backward:
+                if step.kind == "comm":
+                    if t == 0 and self.comm_hook is not None:
+                        grads = [self.buffers[g] for g in step.comm.params]
+                        if tracer.enabled:
+                            with tracer.span(
+                                step.label, "comm", t=t, kind="comm",
+                                bytes=self.step_bytes(step),
+                            ):
+                                self.comm_hook(step.comm.ensemble, grads)
+                        else:
+                            self.comm_hook(step.comm.ensemble, grads)
+                    continue
+                self._run_step_threaded(step, t, "backward")
+
+    def _run_step_threaded(self, step, t: int, cat: str) -> None:
+        """Run one task step: sharded if marked, serial otherwise."""
+        views = self._views(t, step.recurrent_reads)
+        tracer = self.tracer
+        if not step.shardable:
+            if tracer.enabled:
+                with tracer.span(
+                    step.label, cat, t=t, kind=step.kind,
+                    bytes=self.step_bytes(step), flops=step.flops,
+                ):
+                    step.fn(views, self)
+            else:
+                step.fn(views, self)
+            return
+        n = self.num_shards
+        accums = step.private_accums
+        privates = {}
+        for name, mode in accums.items():
+            arr = self._shard_accums[name]
+            if mode == "add":
+                arr[...] = 0
+            privates[name] = arr
+        bounds = self._shard_bounds
+        fn = step.fn
+        traced = tracer.enabled
+        if traced:
+            # establish the tracer origin on the main thread; workers
+            # only *read* the clock and stash timestamps locally
+            tracer.now()
+            marks: List[Optional[tuple]] = [None] * n
+
+        def run_shard(w: int) -> None:
+            lo, hi = bounds[w]
+            v = views
+            if privates:
+                v = dict(views)
+                for name, arr in privates.items():
+                    v[name] = arr[w]
+            if traced:
+                t0 = tracer.now()
+                fn(v, self, lo, hi)
+                marks[w] = (t0, tracer.now() - t0)
+            else:
+                fn(v, self, lo, hi)
+
+        if self._pool is None:
+            self._pool = ShardPool(n)
+        self._pool.run(run_shard)
+        for name, mode in accums.items():
+            total = tree_reduce(privates[name])
+            if mode == "add":
+                views[name] += total
+            else:  # 'store': first-writer-forwarded overwrite
+                views[name][...] = total
+        if traced:
+            per_shard_bytes = self.step_bytes(step) // n
+            per_shard_flops = step.flops // n
+            for w, mark in enumerate(marks):
+                start, dur = mark
+                tracer.add_span(
+                    step.label, cat, start, dur, t=t, kind=step.kind,
+                    bytes=per_shard_bytes, flops=per_shard_flops,
+                    shard=w, shards=n,
+                )
+
+    def close(self) -> None:
+        """Release the shard worker pool (idempotent; the pool is also
+        recreated on demand if the net runs again)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def _zero_grads(self) -> None:
         for name, spec in self.plan.buffers.items():

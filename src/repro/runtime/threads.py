@@ -1,0 +1,117 @@
+"""Persistent shard worker pool and deterministic reduction.
+
+The executor realizes the parallel pass's batch-shard marking
+(§5.4.3 made real at runtime) with plain Python threads: each sharded
+step dispatches one call per contiguous batch shard, and NumPy's
+BLAS/ufunc kernels release the GIL so the shards genuinely overlap.
+Workers are created once per :class:`~repro.runtime.executor.CompiledNet`
+and parked on events between steps — no per-step thread spawn cost.
+
+:func:`tree_reduce` combines per-shard private accumulators in a fixed
+pairwise order, so parallel results are bitwise reproducible run to run
+for a given shard count (they differ from the serial sum only by float
+reassociation; see DESIGN.md "Parallel execution").
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List
+
+import numpy as np
+
+
+class ShardPool:
+    """``num_shards - 1`` parked worker threads plus the calling thread.
+
+    :meth:`run` executes ``fn(w)`` for every shard index ``w`` in
+    ``0..num_shards-1`` — shard 0 on the calling thread — and returns
+    after all shards finish (the shard barrier). The first exception
+    raised by any shard is re-raised after the barrier.
+    """
+
+    def __init__(self, num_shards: int):
+        self.num_shards = num_shards
+        self._fn: Callable[[int], None] | None = None
+        self._go = [threading.Event() for _ in range(num_shards - 1)]
+        self._done = [threading.Event() for _ in range(num_shards - 1)]
+        self._errors: List[BaseException] = []
+        self._threads = []
+        for i in range(num_shards - 1):
+            th = threading.Thread(
+                target=self._worker, args=(i,),
+                name=f"repro-shard-{i + 1}", daemon=True,
+            )
+            th.start()
+            self._threads.append(th)
+
+    def _worker(self, i: int) -> None:
+        while True:
+            self._go[i].wait()
+            self._go[i].clear()
+            fn = self._fn
+            if fn is None:  # shutdown sentinel from close()
+                self._done[i].set()
+                return
+            try:
+                fn(i + 1)
+            except BaseException as exc:  # surfaced after the barrier
+                self._errors.append(exc)
+            self._done[i].set()
+
+    def run(self, fn: Callable[[int], None]) -> None:
+        """Run ``fn`` on every shard; block until all complete."""
+        self._fn = fn
+        for ev in self._go:
+            ev.set()
+        main_exc: BaseException | None = None
+        try:
+            fn(0)
+        except BaseException as exc:
+            main_exc = exc
+        for ev in self._done:  # the shard barrier
+            ev.wait()
+            ev.clear()
+        self._fn = None
+        errors, self._errors = self._errors, []
+        if main_exc is not None:
+            raise main_exc
+        if errors:
+            raise errors[0]
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if not self._threads:
+            return
+        self._fn = None
+        for ev in self._go:
+            ev.set()
+        for th in self._threads:
+            th.join(timeout=1.0)
+        self._threads = []
+
+    def __del__(self):  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def shard_bounds(batch: int, num_shards: int) -> List[tuple]:
+    """Contiguous, deterministic ``[lo, hi)`` batch ranges per shard."""
+    return [
+        ((w * batch) // num_shards, ((w + 1) * batch) // num_shards)
+        for w in range(num_shards)
+    ]
+
+
+def tree_reduce(parts: np.ndarray) -> np.ndarray:
+    """Sum the leading axis pairwise in a fixed order; returns
+    ``parts[0]`` holding the total. The order depends only on the shard
+    count, making parallel gradients reproducible run to run."""
+    n, step = parts.shape[0], 1
+    while step < n:
+        for i in range(0, n - step, 2 * step):
+            parts[i] += parts[i + step]
+        step *= 2
+    return parts[0]

@@ -88,6 +88,21 @@ class ParamInfo:
 
 
 @dataclass
+class PrivateAccum:
+    """Per-thread private accumulator storage for one shared buffer.
+
+    Registered by the parallel pass (§5.4.3's shared-variable treatment
+    applied at runtime): a batch-invariant buffer that batch shards
+    accumulate into concurrently gets ``num_shards`` private copies of
+    ``shape``, combined by a deterministic tree reduction after the shard
+    barrier (see :mod:`repro.runtime.threads`).
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+
+
+@dataclass
 class BufferPlan:
     """Complete buffer table plus per-ensemble facts and connection plans."""
 
@@ -99,12 +114,22 @@ class BufferPlan:
     params: List[ParamInfo] = field(default_factory=list)
     #: ensembles executed in place (value/grad alias their source's)
     inplace: Dict[str, str] = field(default_factory=dict)  # ens -> source
+    #: buffers needing per-thread private accumulators under batch
+    #: sharding (filled by repro.optim.parallel, allocated by
+    #: repro.runtime.buffers.allocate_private)
+    private_accums: Dict[str, PrivateAccum] = field(default_factory=dict)
 
     def add(self, spec: BufferSpec) -> str:
         if spec.name in self.buffers:
             raise ValueError(f"duplicate buffer name {spec.name!r}")
         self.buffers[spec.name] = spec
         return spec.name
+
+    def mark_private(self, name: str) -> None:
+        """Register ``name`` (an unbatched, non-alias buffer) for
+        per-thread private accumulator allocation."""
+        spec = self.buffers[name]
+        self.private_accums[name] = PrivateAccum(name, tuple(spec.shape))
 
     def value_buf(self, ens_name: str) -> str:
         return f"{ens_name}_value"

@@ -14,7 +14,7 @@ units; fusion groups units back under shared tile loops
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.ir import Assign, Const, Expr, For, Gemm, Stmt, Var
 
@@ -93,6 +93,26 @@ class LoopUnit:
 
 
 @dataclass
+class ShardInfo:
+    """Batch-sharding metadata attached by :mod:`repro.optim.parallel`.
+
+    A group carrying this may be executed as several contiguous batch
+    shards concurrently: the Python backend emits its step function with
+    ``(_b0, _b1)`` batch-bound parameters, and the executor runs one call
+    per shard. ``private_accums`` names the batch-invariant buffers the
+    group accumulates into (weight/bias gradients); each maps to the
+    combining mode — ``'add'`` (shard partials are summed into the real
+    buffer) or ``'store'`` (a first-writer-forwarded overwrite; the shard
+    partials replace the buffer's contents).
+    """
+
+    #: full batch extent — the default ``_b1`` of the emitted function
+    batch: int
+    #: buffer name -> 'add' | 'store'
+    private_accums: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
 class FusedGroup:
     """Units sharing an outer tile loop after cross-layer fusion.
 
@@ -106,6 +126,8 @@ class FusedGroup:
     label: str = ""
     #: buffers this group reads at the previous time step (recurrent nets)
     recurrent_reads: frozenset = frozenset()
+    #: set by the parallel pass when the group is batch-shardable
+    shard: Optional[ShardInfo] = None
 
 
 @dataclass

@@ -28,22 +28,29 @@ _CAT_ORDER = (
 
 
 def to_trace_events(spans: Iterable[Span]) -> List[dict]:
-    """Convert spans to a Trace Event Format event list."""
+    """Convert spans to a Trace Event Format event list.
+
+    Spans carrying a ``shard`` arg (thread-parallel execution) get one
+    virtual thread per (category, shard) — e.g. ``forward.s0`` /
+    ``forward.s1`` — so shard overlap is visible as parallel rows.
+    """
     tids: Dict[str, int] = {}
 
-    def tid(cat: str) -> int:
-        if cat not in tids:
-            tids[cat] = (
-                _CAT_ORDER.index(cat)
-                if cat in _CAT_ORDER
+    def tid(track: str) -> int:
+        if track not in tids:
+            tids[track] = (
+                _CAT_ORDER.index(track)
+                if track in _CAT_ORDER
                 else len(_CAT_ORDER) + len(tids)
             )
-        return tids[cat]
+        return tids[track]
 
     events: List[dict] = []
     for span in spans:
         args = {k: v for k, v in span.args.items()}
         args["t"] = span.t
+        shard = span.args.get("shard")
+        track = span.cat if shard is None else f"{span.cat}.s{shard}"
         events.append(
             {
                 "name": span.name,
@@ -52,7 +59,7 @@ def to_trace_events(spans: Iterable[Span]) -> List[dict]:
                 "ts": span.start * 1e6,
                 "dur": span.dur * 1e6,
                 "pid": 0,
-                "tid": tid(span.cat),
+                "tid": tid(track),
                 "args": args,
             }
         )

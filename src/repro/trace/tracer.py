@@ -85,6 +85,12 @@ class Tracer:
                  t: int = 0, **args) -> None:
         pass
 
+    def now(self) -> float:
+        """Current timeline-relative timestamp (for callers measuring
+        intervals themselves and reporting via :meth:`add_span` — e.g.
+        the executor's per-shard spans)."""
+        return 0.0
+
     def metric(self, name: str, value: float, **tags) -> None:
         pass
 
@@ -130,6 +136,13 @@ class RecordingTracer(Tracer):
     def add_span(self, name: str, cat: str, start: float, dur: float,
                  t: int = 0, **args) -> None:
         self.spans.append(Span(name, cat, start, dur, t, args))
+
+    def now(self) -> float:
+        """Timeline-relative timestamp. Thread-safe once the origin is
+        established (the executor pins it from the main thread before
+        dispatching shards); only :meth:`add_span` from the owning thread
+        may record the measured intervals."""
+        return self._now()
 
     def metric(self, name: str, value: float, **tags) -> None:
         self.metrics.append(Metric(name, float(value), tags))

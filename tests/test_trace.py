@@ -48,23 +48,33 @@ def _mlp(tracer=None):
     return net.init(tracer=tracer)
 
 
+def _expected_labels(cn, phase):
+    """One span per task step — or one per batch shard when the net runs
+    thread-parallel (e.g. under REPRO_NUM_THREADS in the threaded CI
+    job) and the step is shardable."""
+    labels = []
+    for s in getattr(cn.compiled, phase):
+        if s.kind != "task":
+            continue
+        labels.extend([s.label] * (cn.num_shards if s.shardable else 1))
+    return labels
+
+
 class TestStepSpans:
     def test_forward_spans_cover_every_task_step_once(self):
         tr = RecordingTracer()
         cn = _cnn(tracer=tr)
         cn.forward(data=np.zeros((2, 3, 8, 8), np.float32))
-        expected = [s.label for s in cn.compiled.forward if s.kind == "task"]
         got = [s.name for s in tr.spans_by_cat("forward")]
-        assert got == expected
+        assert got == _expected_labels(cn, "forward")
 
     def test_backward_spans_cover_every_task_step_once(self):
         tr = RecordingTracer()
         cn = _cnn(tracer=tr)
         cn.forward(data=np.zeros((2, 3, 8, 8), np.float32))
         cn.backward()
-        expected = [s.label for s in cn.compiled.backward if s.kind == "task"]
         got = [s.name for s in tr.spans_by_cat("backward")]
-        assert got == expected
+        assert got == _expected_labels(cn, "backward")
 
     def test_recurrent_spans_once_per_time_step(self):
         T = 4
@@ -76,12 +86,12 @@ class TestStepSpans:
         net.add_connections(h, h, one_to_one(1), recurrent=True)
         cn = net.init(CompilerOptions.level(4), tracer=tr)
         cn.forward(data=np.zeros((T, 2, 3), np.float32))
-        task_steps = [s for s in cn.compiled.forward if s.kind == "task"]
+        expected = _expected_labels(cn, "forward")
         spans = tr.spans_by_cat("forward")
-        assert len(spans) == T * len(task_steps)
+        assert len(spans) == T * len(expected)
         for t in range(T):
             at_t = [s for s in spans if s.t == t]
-            assert [s.name for s in at_t] == [s.label for s in task_steps]
+            assert [s.name for s in at_t] == expected
 
     def test_span_args_carry_bytes_and_flops(self):
         tr = RecordingTracer()
@@ -205,10 +215,19 @@ class TestProfileReport:
             cn.backward()
         wall = time.perf_counter() - t0
         prof = cn.profile()
-        assert prof.total <= wall
-        assert prof.total >= 0.5 * wall  # generous: tiny net, real target
-        # is the >=95% criterion measured on vgg_micro in EXPERIMENTS.md
-        assert all(r.count == 5 for r in prof.rows)
+        if cn.num_shards == 1:
+            # sharded runs aggregate per-shard CPU time, which may
+            # legitimately exceed wall time when shards overlap
+            assert prof.total <= wall
+            assert prof.total >= 0.5 * wall  # generous: tiny net, real
+            # target is the >=95% criterion measured in EXPERIMENTS.md
+        shards = {
+            s.label: (cn.num_shards if s.shardable else 1)
+            for phase in ("forward", "backward")
+            for s in getattr(cn.compiled, phase)
+            if s.kind == "task"
+        }
+        assert all(r.count == 5 * shards[r.name] for r in prof.rows)
 
     def test_by_ensemble_splits_fused_groups(self):
         rep = ProfileReport.from_spans([
