@@ -275,7 +275,10 @@ def lower_unit_vector(unit: LoopUnit) -> LoweredUnit:
         fn = "_np.maximum" if stmt.reduce == "max" else "_np.minimum"
         rfn = "max" if stmt.reduce == "max" else "min"
         rhs = reduce_and_align(rhs, rfn)
-        if chosen:
+        # out= needs an array view: only valid when the target itself
+        # keeps a vectorized axis, not merely when the rhs does (a fully
+        # scalar-indexed target is a 0-d extraction, not a view)
+        if tgt_axis_vars:
             line = f"{fn}({tgt}, {rhs}, out={tgt})"
         else:
             line = f"{tgt} = {fn}({tgt}, {rhs})"

@@ -20,11 +20,14 @@ ActivationEnsembles (§3.2):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.frontend import parse_neuron_function
 from repro.analysis.shared_variables import EnsembleFacts, analyze_ensemble
+from repro.ir.nodes import buffers_read
 from repro.core.ensemble import (
     AbstractEnsemble,
     ActivationEnsemble,
@@ -231,7 +234,22 @@ def _inplace_source(ens, facts, options, net) -> Optional[AbstractEnsemble]:
         return None
     if len(_consumers(src)) != 1:
         return None
+    # the source's backward must not read its own output value: in-place
+    # execution lets the sink's forward clobber src_value, so e.g. max
+    # pooling (whose backward compares inputs against self.value to route
+    # the gradient) can never host an in-place activation
+    if _backward_reads_value(src.neuron_type):
+        return None
     return src
+
+
+@lru_cache(maxsize=None)
+def _backward_reads_value(neuron_type) -> bool:
+    """Whether ``neuron_type``'s backward body reads ``self.value``."""
+    if not neuron_type.has_backward():
+        return False
+    fn_ir = parse_neuron_function(neuron_type, "backward")
+    return any("$value" in buffers_read(stmt) for stmt in fn_ir.body)
 
 
 def _plan_connection(plan, ens, j, cf, options) -> ConnPlan:

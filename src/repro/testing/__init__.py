@@ -1,0 +1,73 @@
+"""Differential-testing subsystem: random networks, oracle, shrinker.
+
+Latte's optimization ladder (O0..O4) and the thread-parallel executor
+claim to be semantics-preserving. This package turns that claim into a
+checked property over *arbitrary* networks instead of a hand-picked zoo:
+
+* :mod:`repro.testing.generator` — a seeded random network generator
+  producing serializable :class:`NetSpec` records that compose valid
+  stacks from the layer library (conv / pool / FC / activations / norm /
+  concat branches / recurrent cells);
+* :mod:`repro.testing.gradcheck` — a reusable finite-difference gradient
+  checker (central differences with a non-smoothness guard);
+* :mod:`repro.testing.oracle` — the differential oracle: run a spec at
+  every opt level and thread count against the O0 scalar interpreter,
+  finite-difference its gradients, and cross-check the ``caffe_like`` /
+  ``mocha_like`` baselines where layer coverage overlaps;
+* :mod:`repro.testing.minimize` — a greedy shrinker that reduces a
+  failing spec to a minimal reproducer and serializes it under
+  ``tests/regressions/``;
+* :mod:`repro.testing.fuzz` — the CLI entry point::
+
+      python -m repro.testing.fuzz --seed N --budget K
+
+See docs/TESTING.md for the tolerance policy and workflow.
+"""
+
+from repro.testing.generator import (
+    NetSpec,
+    build_net,
+    infer_shapes,
+    make_inputs,
+    random_spec,
+)
+from repro.testing.gradcheck import (
+    check_input_gradient,
+    check_param_gradient,
+)
+from repro.testing.minimize import (
+    load_reproducer,
+    save_reproducer,
+    shrink,
+)
+from repro.testing.oracle import (
+    Mismatch,
+    OracleReport,
+    RunResult,
+    TOLERANCES,
+    assert_spec_ok,
+    check_spec,
+    inject_bug,
+    run_spec,
+)
+
+__all__ = [
+    "Mismatch",
+    "NetSpec",
+    "OracleReport",
+    "RunResult",
+    "TOLERANCES",
+    "assert_spec_ok",
+    "build_net",
+    "check_input_gradient",
+    "check_param_gradient",
+    "check_spec",
+    "infer_shapes",
+    "inject_bug",
+    "load_reproducer",
+    "make_inputs",
+    "random_spec",
+    "run_spec",
+    "save_reproducer",
+    "shrink",
+]

@@ -1,0 +1,157 @@
+"""Greedy failure minimization and regression-case serialization.
+
+``shrink`` takes a failing :class:`NetSpec` and a ``still_fails``
+predicate and repeatedly applies shape-preserving reductions — drop a
+layer, halve a dimension, shrink the batch / input / time axis — keeping
+each candidate only if it remains a valid network *and* still fails.
+The result is a (locally) minimal reproducer; ``save_reproducer``
+serializes it as JSON under ``tests/regressions/`` where
+``tests/test_regressions.py`` picks it up as a permanent fixed-seed
+regression test.
+
+The search is deterministic: candidates are tried in a fixed order, so
+the same failure always shrinks to the same reproducer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.testing.generator import LayerDict, NetSpec, infer_shapes
+
+#: default location for serialized reproducers, relative to the repo root
+REGRESSION_DIR = Path(__file__).resolve().parents[3] / "tests" / "regressions"
+
+
+def _is_valid(spec: NetSpec) -> bool:
+    try:
+        infer_shapes(spec)
+    except ValueError:
+        return False
+    return True
+
+
+def _halved(n: int, floor: int = 1) -> Optional[int]:
+    return n // 2 if n // 2 >= floor and n // 2 < n else None
+
+
+def _halve_layer_dims(ld: LayerDict) -> Iterator[LayerDict]:
+    """Candidate single-dimension reductions of one layer record."""
+    for key, floor in (("filters", 1), ("outputs", 1)):
+        if key in ld:
+            h = _halved(int(ld[key]))
+            if h is not None:
+                yield {**ld, key: h}
+    if ld["kind"] == "inception":
+        branches = ld["branches"]
+        # drop one branch (keeping >= 2)
+        if len(branches) > 2:
+            for i in range(len(branches)):
+                yield {**ld, "branches": branches[:i] + branches[i + 1:]}
+        # halve one branch's conv filters
+        for i, branch in enumerate(branches):
+            for j, bld in enumerate(branch):
+                if "filters" in bld:
+                    h = _halved(int(bld["filters"]))
+                    if h is not None:
+                        new_branch = list(branch)
+                        new_branch[j] = {**bld, "filters": h}
+                        yield {**ld, "branches": branches[:i]
+                               + [new_branch] + branches[i + 1:]}
+
+
+def _candidates(spec: NetSpec) -> Iterator[NetSpec]:
+    """All one-step reductions of ``spec``, biggest simplifications
+    first (layer removal before dimension halving)."""
+    layers = list(spec.layers)
+    for i in range(len(layers)):
+        yield replace(spec, layers=tuple(layers[:i] + layers[i + 1:]))
+    if spec.batch > 1:
+        yield replace(spec, batch=spec.batch // 2)
+    if spec.time_steps > 2:
+        yield replace(spec, time_steps=spec.time_steps - 1)
+    elif spec.time_steps == 2 and not spec.recurrent:
+        yield replace(spec, time_steps=1)
+    if spec.classes > 2:
+        yield replace(spec, classes=max(2, spec.classes // 2))
+    if len(spec.input_shape) == 3:
+        c, h, w = spec.input_shape
+        if c > 1:
+            yield replace(spec, input_shape=(c // 2, h, w))
+        if h > 4:
+            yield replace(spec, input_shape=(c, h // 2, w // 2))
+    elif spec.input_shape[0] > 2:
+        yield replace(spec, input_shape=(spec.input_shape[0] // 2,))
+    for i, ld in enumerate(layers):
+        for smaller in _halve_layer_dims(ld):
+            yield replace(spec,
+                          layers=tuple(layers[:i] + [smaller]
+                                       + layers[i + 1:]))
+
+
+def shrink(spec: NetSpec, still_fails: Callable[[NetSpec], bool],
+           max_evals: int = 200) -> NetSpec:
+    """Greedily minimize a failing spec.
+
+    ``still_fails`` must return True for ``spec`` itself (the caller
+    observed the failure) and for any candidate that reproduces it.
+    Candidates that are invalid geometry are skipped without spending an
+    evaluation. Returns the smallest spec found within ``max_evals``
+    predicate evaluations (1-minimal when the budget is not exhausted:
+    no single remaining reduction still fails).
+    """
+    current = spec
+    evals = 0
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for candidate in _candidates(current):
+            if evals >= max_evals:
+                break
+            if not _is_valid(candidate):
+                continue
+            evals += 1
+            if still_fails(candidate):
+                current = candidate
+                improved = True
+                break  # restart from the smaller spec
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Regression-case serialization
+# ---------------------------------------------------------------------------
+
+
+def save_reproducer(spec: NetSpec, note: str = "",
+                    failures: Optional[List[str]] = None,
+                    directory: Optional[Path] = None) -> Path:
+    """Serialize a minimized failing spec as a regression case.
+
+    The filename carries a content hash, so re-finding the same
+    reproducer is idempotent. Returns the written path.
+    """
+    directory = Path(directory) if directory is not None else REGRESSION_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": 1,
+        "spec": spec.to_dict(),
+        "note": note,
+        "failures": list(failures or []),
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload["spec"], sort_keys=True).encode()
+    ).hexdigest()[:12]
+    path = directory / f"repro_{digest}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_reproducer(path: Path) -> Tuple[NetSpec, dict]:
+    """Load a regression case: ``(spec, metadata)``."""
+    payload = json.loads(Path(path).read_text())
+    return NetSpec.from_dict(payload["spec"]), payload

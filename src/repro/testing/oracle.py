@@ -1,0 +1,442 @@
+"""The differential oracle: one spec, every compiler configuration.
+
+``check_spec`` runs a generated network forward + backward under every
+optimization level and executor thread count and compares against the
+O0 scalar interpreter (the semantic reference), finite-difference-checks
+the input gradient, and — where the layer vocabulary overlaps — checks
+parity against the independent ``caffe_like`` and ``mocha_like``
+baseline implementations.
+
+Tolerance policy (see docs/TESTING.md and DESIGN.md §4b):
+
+* **Optimization levels O1..O4 vs O0** — the passes reassociate float32
+  reductions (GEMM contraction vs scalar loops, fused accumulators), so
+  comparisons use the float-reassociation tier: per-dtype ``rtol`` /
+  ``atol`` in :data:`TOLERANCES`.
+* **Thread counts vs serial at the same level** — batch sharding never
+  splits a contraction axis, but BLAS selects different kernels for
+  different shard heights (a one-row shard takes a GEMV path), so
+  forward values can differ at the last-ulp level; forward and input
+  gradients use the tight ``thread_fwd`` tier, privatized weight/bias
+  gradients the ``thread_param`` tier (shard partials + tree reduction
+  round differently from one full-batch GEMM). What *is* bitwise is
+  run-to-run reproducibility at a fixed thread count (deterministic
+  shard bounds + fixed-order reduction): the oracle re-runs one thread
+  configuration and requires identical bits — the check that catches
+  races.
+* **Finite differences** — central differences with a non-smoothness
+  guard (:mod:`repro.testing.gradcheck`).
+* **Baselines** — independent implementations with different summation
+  orders: the float-reassociation tier again.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.optim import CompilerOptions, compile_net
+from repro.testing.generator import (
+    NetSpec,
+    build_net,
+    make_inputs,
+)
+from repro.testing.gradcheck import check_input_gradient
+from repro.utils.rng import seed_all
+
+#: per-dtype comparison tiers. ``level_*`` compares O1..O4 against the
+#: O0 oracle (float reassociation across passes); ``thread_*`` compares
+#: privatized parameter gradients against serial at the same level
+#: (a single tree-reduction reassociation, hence tighter); ``fd_*``
+#: bounds finite-difference disagreement; ``baseline_*`` compares the
+#: independent reference implementations.
+TOLERANCES: Dict[str, Dict[str, float]] = {
+    "float32": {
+        "loss_rtol": 1e-4,
+        "level_rtol": 1e-3, "level_atol": 1e-5,
+        "level_param_rtol": 1e-3, "level_param_atol": 2e-4,
+        "thread_fwd_rtol": 1e-5, "thread_fwd_atol": 1e-6,
+        "thread_loss_rtol": 1e-6,
+        "thread_param_rtol": 1e-4, "thread_param_atol": 1e-6,
+        "fd_atol": 5e-3, "fd_rtol": 1e-2,
+        "baseline_rtol": 1e-3, "baseline_atol": 1e-4,
+    },
+    # float64 would shrink the reassociation noise; kept for the day the
+    # buffer dtype becomes configurable
+    "float64": {
+        "loss_rtol": 1e-8,
+        "level_rtol": 1e-7, "level_atol": 1e-10,
+        "level_param_rtol": 1e-7, "level_param_atol": 1e-9,
+        "thread_fwd_rtol": 1e-9, "thread_fwd_atol": 1e-11,
+        "thread_loss_rtol": 1e-10,
+        "thread_param_rtol": 1e-8, "thread_param_atol": 1e-11,
+        "fd_atol": 1e-6, "fd_rtol": 1e-5,
+        "baseline_rtol": 1e-7, "baseline_atol": 1e-9,
+    },
+}
+
+#: layer kinds the baseline implementations cover (plus the implicit
+#: head/loss); dropout is excluded because the two stacks draw masks in
+#: different RNG orders, batchnorm/concat/recurrent are Latte-only
+_BASELINE_KINDS = {"conv", "relu", "pool", "lrn", "fc"}
+
+
+@dataclass
+class RunResult:
+    """Everything the oracle compares from one forward+backward run."""
+
+    loss: float
+    output: np.ndarray
+    dx: np.ndarray
+    param_grads: Dict[str, np.ndarray]
+
+
+@dataclass
+class Mismatch:
+    """One failed comparison."""
+
+    check: str  # e.g. "level:3", "threads:2", "gradcheck", "baseline:caffe"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.detail}"
+
+
+@dataclass
+class OracleReport:
+    """The outcome of :func:`check_spec` on one spec."""
+
+    spec: NetSpec
+    checks: List[str] = field(default_factory=list)
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        head = f"{self.spec.describe()}: " \
+               f"{len(self.checks)} checks, " \
+               f"{len(self.mismatches)} mismatches"
+        lines = [head] + [f"  {m}" for m in self.mismatches]
+        return "\n".join(lines)
+
+
+def run_spec(spec: NetSpec, level: int = 0,
+             num_threads: int = 1) -> RunResult:
+    """Build + compile ``spec`` at one configuration and run one
+    forward/backward on its deterministic inputs.
+
+    The library RNG is reseeded from ``spec.seed`` before construction,
+    so parameter initialization and dropout masks are identical across
+    every (level, threads) configuration of the same spec.
+    """
+    seed_all(spec.seed)
+    net = build_net(spec)
+    opts = CompilerOptions.level(level)
+    opts.min_tile_rows = 2  # tiny fuzz geometry: keep tiling engaged
+    cnet = compile_net(net, opts, num_threads=num_threads)
+    x, y = make_inputs(spec)
+    loss = cnet.forward(data=x, label=y)
+    cnet.clear_param_grads()
+    cnet.backward()
+    return RunResult(
+        loss=float(loss),
+        output=cnet.value("head").copy(),
+        dx=cnet.grad("data").copy(),
+        param_grads={p.key: p.grad.copy() for p in cnet.parameters()},
+    )
+
+
+def _compare_arrays(check: str, name: str, got: np.ndarray,
+                    want: np.ndarray, rtol: float, atol: float,
+                    out: List[Mismatch], bitwise: bool = False) -> None:
+    if got.shape != want.shape:
+        out.append(Mismatch(check, f"{name}: shape {got.shape} != "
+                                   f"{want.shape}"))
+        return
+    if not np.isfinite(got).all():
+        out.append(Mismatch(check, f"{name}: non-finite values"))
+        return
+    if bitwise:
+        if not np.array_equal(got, want):
+            n_diff = int((got != want).sum())
+            out.append(Mismatch(
+                check,
+                f"{name}: not bitwise identical ({n_diff}/{got.size} "
+                f"elements differ, max|Δ|={np.abs(got - want).max():.3g})"
+            ))
+        return
+    if np.allclose(got, want, rtol=rtol, atol=atol):
+        return
+    diff = np.abs(got.astype(np.float64) - want.astype(np.float64))
+    denom = np.maximum(np.abs(want.astype(np.float64)), atol)
+    out.append(Mismatch(
+        check,
+        f"{name}: max|Δ|={diff.max():.3g} max rel={(diff / denom).max():.3g}"
+        f" (rtol={rtol:g}, atol={atol:g})"
+    ))
+
+
+def _compare_runs(check: str, got: RunResult, want: RunResult,
+                  out: List[Mismatch], loss_rtol: float, fwd_rtol: float,
+                  fwd_atol: float, param_rtol: float,
+                  param_atol: float) -> None:
+    if not np.isfinite(got.loss):
+        out.append(Mismatch(check, f"loss is {got.loss}"))
+    elif abs(got.loss - want.loss) > loss_rtol * max(1e-12, abs(want.loss)):
+        out.append(Mismatch(
+            check, f"loss {got.loss:.6g} vs reference {want.loss:.6g} "
+                   f"(rel {abs(got.loss - want.loss) / max(1e-12, abs(want.loss)):.3g})"))
+    _compare_arrays(check, "output", got.output, want.output,
+                    fwd_rtol, fwd_atol, out)
+    _compare_arrays(check, "d(data)", got.dx, want.dx, fwd_rtol, fwd_atol,
+                    out)
+    if set(got.param_grads) != set(want.param_grads):
+        out.append(Mismatch(check, "parameter sets differ"))
+        return
+    for key in sorted(want.param_grads):
+        _compare_arrays(check, f"d({key})", got.param_grads[key],
+                        want.param_grads[key], param_rtol, param_atol, out)
+
+
+def _compare_bitwise(check: str, got: RunResult, want: RunResult,
+                     out: List[Mismatch]) -> None:
+    if got.loss != want.loss:
+        out.append(Mismatch(check, f"loss not reproducible: "
+                                   f"{got.loss!r} != {want.loss!r}"))
+    _compare_arrays(check, "output", got.output, want.output, 0, 0, out,
+                    bitwise=True)
+    _compare_arrays(check, "d(data)", got.dx, want.dx, 0, 0, out,
+                    bitwise=True)
+    for key in sorted(want.param_grads):
+        _compare_arrays(check, f"d({key})", got.param_grads[key],
+                        want.param_grads[key], 0, 0, out, bitwise=True)
+
+
+def _baseline_config(spec: NetSpec):
+    """Map a baseline-compatible spec onto a shared ModelConfig (layer
+    names matching :func:`build_net`'s), or None if out of vocabulary."""
+    from repro.models.configs import (
+        ConvSpec, FCSpec, LRNSpec, ModelConfig, PoolSpec, ReLUSpec,
+        SoftmaxLossSpec,
+    )
+
+    if (spec.time_steps != 1 or len(spec.input_shape) != 3
+            or not any(ld["kind"] == "conv" for ld in spec.layers)):
+        return None
+    if any(ld["kind"] not in _BASELINE_KINDS for ld in spec.layers):
+        return None
+    specs = []
+    for i, ld in enumerate(spec.layers):
+        name = f"L{i}_{ld['kind']}"
+        if ld["kind"] == "conv":
+            specs.append(ConvSpec(name, ld["filters"], ld["kernel"],
+                                  ld["stride"], ld["pad"]))
+        elif ld["kind"] == "relu":
+            specs.append(ReLUSpec(name))
+        elif ld["kind"] == "pool":
+            specs.append(PoolSpec(name, ld["kernel"], ld["stride"],
+                                  ld["pad"], ld["mode"]))
+        elif ld["kind"] == "lrn":
+            specs.append(LRNSpec(name, ld["local_size"], ld["alpha"],
+                                 ld["beta"]))
+        elif ld["kind"] == "fc":
+            specs.append(FCSpec(name, ld["outputs"]))
+    specs.append(FCSpec("head", spec.classes))
+    specs.append(SoftmaxLossSpec("loss"))
+    return ModelConfig(f"fuzz_{spec.seed}", tuple(spec.input_shape),
+                       tuple(specs), spec.classes)
+
+
+def _check_baselines(spec: NetSpec, tol: dict, checks: List[str],
+                     out: List[Mismatch]) -> None:
+    from repro.baselines import CaffeNet, MochaNet
+
+    config = _baseline_config(spec)
+    if config is None:
+        return
+    seed_all(spec.seed)
+    net = build_net(spec)
+    cnet = compile_net(net, CompilerOptions.level(4))
+    x, y = make_inputs(spec)
+    for cls, label in ((CaffeNet, "caffe"), (MochaNet, "mocha")):
+        check = f"baseline:{label}"
+        checks.append(check)
+        base = cls(config, spec.batch)
+        base.load_params_from(cnet)
+        loss = cnet.forward(data=x, label=y)
+        cnet.clear_param_grads()
+        cnet.backward()
+        base.forward(x, y)
+        if abs(base.loss - loss) > tol["loss_rtol"] * max(1e-12, abs(loss)):
+            out.append(Mismatch(
+                check, f"loss {loss:.6g} vs baseline {base.loss:.6g}"))
+        base.clear_grads()
+        dx_base = base.backward()
+        _compare_arrays(check, "d(data)", cnet.grad("data"), dx_base,
+                        tol["baseline_rtol"], tol["baseline_atol"], out)
+        base_params = base.params()
+        latte_params = cnet.parameters()
+        if len(base_params) != len(latte_params):
+            out.append(Mismatch(check, "parameter count differs"))
+            continue
+        for (bv, bg), p in zip(base_params, latte_params):
+            _compare_arrays(check, f"d({p.key})", p.grad, bg,
+                            tol["baseline_rtol"], tol["baseline_atol"], out)
+
+
+def _check_gradients(spec: NetSpec, tol: dict, n_indices: int,
+                     out: List[Mismatch]) -> None:
+    def build_fn():
+        seed_all(spec.seed)
+        opts = CompilerOptions.level(0)
+        opts.min_tile_rows = 2
+        return compile_net(build_net(spec), opts)
+
+    x, y = make_inputs(spec)
+    failures = check_input_gradient(
+        build_fn, x, y, n_indices=n_indices, atol=tol["fd_atol"],
+        rtol=tol["fd_rtol"], index_seed=spec.seed,
+    )
+    for f in failures:
+        out.append(Mismatch("gradcheck", str(f)))
+
+
+def check_spec(
+    spec: NetSpec,
+    levels: Sequence[int] = (1, 2, 3, 4),
+    threads: Sequence[int] = (2, 4),
+    gradcheck_indices: int = 3,
+    baselines: bool = True,
+    dtype: str = "float32",
+) -> OracleReport:
+    """Run every configured comparison on ``spec``.
+
+    ``levels`` are compared against the O0 scalar oracle; ``threads``
+    run at the highest requested level (or O4 when ``levels`` is empty)
+    and are compared against the serial run of that same level;
+    ``gradcheck_indices`` finite-difference probes validate the O0
+    input gradient itself; ``baselines`` enables caffe/mocha parity
+    when the spec stays within their layer vocabulary.
+    """
+    tol = TOLERANCES[dtype]
+    report = OracleReport(spec)
+    reference = run_spec(spec, level=0)
+    report.checks.append("level:0")
+    if not np.isfinite(reference.loss):
+        report.mismatches.append(
+            Mismatch("level:0", f"oracle loss is {reference.loss}"))
+        return report
+
+    by_level = {0: reference}
+    for lvl in levels:
+        check = f"level:{lvl}"
+        report.checks.append(check)
+        by_level[lvl] = run_spec(spec, level=lvl)
+        _compare_runs(check, by_level[lvl], reference, report.mismatches,
+                      tol["loss_rtol"], tol["level_rtol"],
+                      tol["level_atol"], tol["level_param_rtol"],
+                      tol["level_param_atol"])
+
+    if threads and spec.batch > 1:
+        thread_level = max(levels) if levels else 4
+        serial = by_level.get(thread_level)
+        if serial is None:
+            serial = run_spec(spec, level=thread_level)
+        reproducibility_checked = False
+        for nt in threads:
+            if nt <= 1:
+                continue
+            check = f"threads:{nt}"
+            report.checks.append(check)
+            parallel = run_spec(spec, level=thread_level, num_threads=nt)
+            _compare_runs(check, parallel, serial, report.mismatches,
+                          tol["thread_loss_rtol"], tol["thread_fwd_rtol"],
+                          tol["thread_fwd_atol"], tol["thread_param_rtol"],
+                          tol["thread_param_atol"])
+            if not reproducibility_checked:
+                # run-to-run determinism at a fixed shard count is
+                # bitwise (fixed bounds + fixed-order reduction); any
+                # drift here is a race, not rounding
+                reproducibility_checked = True
+                check = f"repro-threads:{nt}"
+                report.checks.append(check)
+                _compare_bitwise(
+                    check, run_spec(spec, level=thread_level,
+                                    num_threads=nt),
+                    parallel, report.mismatches)
+
+    if gradcheck_indices:
+        report.checks.append("gradcheck")
+        _check_gradients(spec, tol, gradcheck_indices, report.mismatches)
+
+    if baselines:
+        _check_baselines(spec, tol, report.checks, report.mismatches)
+    return report
+
+
+def assert_spec_ok(spec: NetSpec, shrink_on_failure: bool = True,
+                   **check_kwargs) -> OracleReport:
+    """Pytest-facing wrapper: raise AssertionError on any mismatch,
+    shrinking the failing spec first so the error message carries a
+    minimal reproducer (paste its JSON into ``tests/regressions/`` to
+    pin it)."""
+    report = check_spec(spec, **check_kwargs)
+    if report.ok:
+        return report
+    message = [report.summary()]
+    if shrink_on_failure:
+        from repro.testing.minimize import shrink
+
+        small = shrink(
+            spec, lambda s: not check_spec(s, **check_kwargs).ok
+        )
+        final = check_spec(small, **check_kwargs)
+        message.append("minimized reproducer:")
+        message.append(small.to_json(indent=2))
+        message.append(final.summary())
+    raise AssertionError("\n".join(message))
+
+
+@contextlib.contextmanager
+def inject_bug(name: str):
+    """Deliberately break an optimizer/runtime invariant (self-test of
+    the oracle: a fuzz run under an injected bug must fail).
+
+    * ``drop-private-reduce`` — the privatized-accumulator tree
+      reduction returns only the first shard's partial, losing every
+      other shard's weight/bias-gradient contribution.
+    * ``overlapping-shards`` — every shard covers ``[0, hi)`` instead of
+      its own slice, double-counting privatized gradient contributions.
+    """
+    from repro.runtime import executor
+
+    if name == "drop-private-reduce":
+        orig = executor.tree_reduce
+        executor.tree_reduce = lambda parts: parts[0]
+        try:
+            yield
+        finally:
+            executor.tree_reduce = orig
+    elif name == "overlapping-shards":
+        orig = executor.shard_bounds
+        executor.shard_bounds = lambda batch, n: [
+            (0, hi) for _lo, hi in orig(batch, n)
+        ]
+        try:
+            yield
+        finally:
+            executor.shard_bounds = orig
+    else:
+        raise KeyError(
+            f"unknown bug {name!r}; have: drop-private-reduce, "
+            f"overlapping-shards"
+        )
+
+
+#: names accepted by :func:`inject_bug` (for the CLI's --inject-bug)
+INJECTABLE_BUGS = ("drop-private-reduce", "overlapping-shards")

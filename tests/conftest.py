@@ -1,4 +1,20 @@
-"""Shared fixtures for the Latte reproduction test suite."""
+"""Shared fixtures for the Latte reproduction test suite.
+
+RNG policy (audited for PR 3, see docs/TESTING.md):
+
+* layer construction draws parameters from the library-wide RNG in
+  :mod:`repro.utils.rng`; the autouse ``_deterministic`` fixture resets
+  it before *every* test, so no test depends on how many draws earlier
+  tests made — the suite passes in any order and each file passes
+  standalone;
+* tests needing their own stream use ``np.random.default_rng(seed)``
+  (or the ``rng`` fixture / ``repro.utils.rng.get_rng(seed)``) rather
+  than the legacy ``np.random.*`` module-global API, which nothing in
+  the repo seeds;
+* tests comparing two builds (differential oracle, baseline parity)
+  must call ``seed_all`` themselves immediately before *each* build so
+  both sides draw identical parameters regardless of intervening draws.
+"""
 
 from __future__ import annotations
 

@@ -108,11 +108,28 @@ class TestInPlace:
         plan = _plan(net)
         assert "relu" not in plan.inplace
 
-    def test_resolve_alias_chain(self):
+    def test_no_inplace_on_value_reading_source(self):
+        # relu's backward reads self.value, so it may not host another
+        # in-place op (the sink's forward would clobber that value);
+        # relu itself still aliases conv, whose backward reads only its
+        # inputs and weights
         net, conv, relu = self._net()
         relu2 = ReLULayer("relu2", net, relu)
         plan = _plan(net)
-        assert plan.resolve_alias("relu2_value") == "conv_value"
+        assert plan.inplace == {"relu": "conv"}
+        assert plan.resolve_alias("relu_value") == "conv_value"
+        assert plan.resolve_alias("relu2_value") == "relu2_value"
+
+    def test_no_inplace_on_max_pool(self):
+        # max pooling's backward routes gradient by comparing inputs to
+        # self.value; an in-place activation on top would corrupt it
+        # (fuzzer-found: tests/regressions/ max-pool + dropout case)
+        net = Net(2)
+        d = MemoryDataLayer(net, "data", (3, 8, 8))
+        pool = MaxPoolingLayer("pool", net, d)
+        ReLULayer("relu", net, pool)
+        plan = _plan(net)
+        assert "relu" not in plan.inplace
 
 
 class TestRecurrentPlan:

@@ -9,9 +9,11 @@ from repro.core import Net
 from repro.layers import (
     AddLayer,
     BatchNormLayer,
+    ConcatLayer,
     ConvolutionLayer,
     DropoutLayer,
     FullyConnectedLayer,
+    GRULayer,
     LRNLayer,
     MaxPoolingLayer,
     MeanPoolingLayer,
@@ -24,6 +26,7 @@ from repro.layers import (
     TanhLayer,
 )
 from repro.optim import CompilerOptions
+from repro.testing import check_input_gradient, check_param_gradient
 from repro.utils.rng import seed_all
 from tests.conftest import run_backward_seeded
 
@@ -305,14 +308,6 @@ class TestElementwiseMath:
             AddLayer("s", net, a, b)
 
 
-def _numeric_grad(build_fn, x, y, idx, eps=1e-2):
-    xp, xm = x.copy(), x.copy()
-    xp[idx] += eps
-    xm[idx] -= eps
-    return (build_fn().forward(data=xp, label=y)
-            - build_fn().forward(data=xm, label=y)) / (2 * eps)
-
-
 class TestNormalizationLayers:
     def _build(self, layer_fn):
         def build():
@@ -335,14 +330,11 @@ class TestNormalizationLayers:
         build = self._build(layer_fn)
         x = _x((4, 6, 6))
         y = np.random.default_rng(9).integers(0, 3, (B, 1)).astype(np.float32)
-        cn = build()
-        cn.forward(data=x, label=y)
-        cn.clear_param_grads()
-        cn.backward()
-        dx = cn.grad("data")
-        for idx in [(0, 0, 0, 0), (1, 2, 3, 4), (2, 3, 5, 5)]:
-            num = _numeric_grad(build, x, y, idx)
-            assert abs(num - dx[idx]) < 5e-3, (idx, num, dx[idx])
+        failures = check_input_gradient(
+            build, x, y,
+            indices=[(0, 0, 0, 0), (1, 2, 3, 4), (2, 3, 5, 5)],
+        )
+        assert not failures, "\n".join(map(str, failures))
 
     def test_lrn_forward_formula(self):
         net, d = _data_net((6, 4, 4))
@@ -415,3 +407,75 @@ class TestSoftmax:
         cn = net.init()
         cn.forward(data=_x((5,)))
         np.testing.assert_allclose(cn.value("sm").sum(1), 1.0, rtol=1e-5)
+
+
+class TestFiniteDifferenceBackward:
+    """Finite-difference backward checks through the shared gradient
+    checker (repro.testing.gradcheck) for layers whose backward is not
+    covered by a closed-form identity above: pooling variants with
+    padding/overlap, concatenation, and the GRU cell. Max pooling is
+    piecewise linear; the checker's step-halving guard skips indices
+    that straddle a kink, so surviving failures are genuine."""
+
+    def _loss_net(self, body, in_shape, classes=3, time_steps=1):
+        def build():
+            seed_all(11)
+            net = Net(B, time_steps=time_steps)
+            d = MemoryDataLayer(net, "data", in_shape)
+            label = MemoryDataLayer(net, "label", (1,))
+            top = body(net, d)
+            fc = FullyConnectedLayer("fc", net, top, classes)
+            SoftmaxLossLayer("loss", net, fc, label)
+            return net.init()
+        return build
+
+    def _feed(self, in_shape, classes=3, time_steps=1, seed=7):
+        rng = np.random.default_rng(seed)
+        lead = (time_steps, B) if time_steps > 1 else (B,)
+        x = rng.standard_normal(lead + in_shape).astype(np.float32)
+        y = rng.integers(0, classes, lead + (1,)).astype(np.float32)
+        return x, y
+
+    @pytest.mark.parametrize("mode,kernel,stride,pad", [
+        ("max", 3, 2, 0),   # overlapping windows
+        ("max", 2, 2, 1),   # zero padding (the fuzzer-found geometry)
+        ("mean", 3, 2, 1),  # padded mean
+        ("mean", 2, 2, 0),  # plain tiling
+    ], ids=["max-overlap", "max-pad", "mean-pad", "mean-plain"])
+    def test_pooling_variants(self, mode, kernel, stride, pad):
+        fn = MaxPoolingLayer if mode == "max" else MeanPoolingLayer
+        build = self._loss_net(
+            lambda net, d: fn("p", net, d, kernel, stride, pad),
+            (2, 6, 6))
+        x, y = self._feed((2, 6, 6))
+        failures = check_input_gradient(build, x, y, n_indices=6)
+        assert not failures, "\n".join(map(str, failures))
+
+    def test_concat(self):
+        def body(net, d):
+            a = ReLULayer("a", net, d)
+            b = TanhLayer("b", net, d)
+            return ConcatLayer("cat", net, [a, b])
+
+        build = self._loss_net(body, (3, 4, 4))
+        x, y = self._feed((3, 4, 4))
+        failures = check_input_gradient(build, x, y, n_indices=6)
+        assert not failures, "\n".join(map(str, failures))
+
+    def test_gru_input_gradient(self):
+        build = self._loss_net(
+            lambda net, d: GRULayer("g", net, d, 5).h,
+            (4,), time_steps=2)
+        x, y = self._feed((4,), time_steps=2)
+        failures = check_input_gradient(build, x, y, n_indices=6)
+        assert not failures, "\n".join(map(str, failures))
+
+    def test_gru_param_gradient(self):
+        build = self._loss_net(
+            lambda net, d: GRULayer("g", net, d, 5).h,
+            (4,), time_steps=2)
+        x, y = self._feed((4,), time_steps=2)
+        for key in ["g_zx.weights", "g_hh.weights", "g_zx.bias"]:
+            failures = check_param_gradient(
+                build, {"data": x, "label": y}, key, n_indices=4)
+            assert not failures, "\n".join(map(str, failures))

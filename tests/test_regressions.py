@@ -1,0 +1,32 @@
+"""Replay minimized fuzzer reproducers under the differential oracle.
+
+Every ``tests/regressions/repro_*.json`` (written by
+``repro.testing.minimize.save_reproducer``, usually via the fuzz CLI) is
+re-checked here with the full oracle: once a bug is shrunk and committed
+it can never silently regress. See ``tests/regressions/README.md``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.testing import check_spec, load_reproducer
+
+REGRESSION_DIR = Path(__file__).parent / "regressions"
+CASES = sorted(REGRESSION_DIR.glob("repro_*.json"))
+
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_regression_case(path):
+    spec, payload = load_reproducer(path)
+    report = check_spec(spec)
+    assert report.ok, (
+        f"regression {path.name} reproduced "
+        f"({payload.get('note', '')}):\n" + report.summary()
+    )
+
+
+def test_corpus_not_empty():
+    # the fuzzer has found at least one real bug (max-pool + in-place
+    # dropout); its reproducer must stay in the corpus
+    assert CASES, f"no reproducers found under {REGRESSION_DIR}"
