@@ -9,7 +9,9 @@ to ``benchmarks/results/<figure>.txt``.
 
 from __future__ import annotations
 
+import json
 import os
+import tracemalloc
 from typing import Callable, Dict
 
 import numpy as np
@@ -122,11 +124,7 @@ class Runners:
             self.cnet.backward()
         else:
             self.cnet.clear_param_grads()
-            self.cnet._zero_grads()
-            self.cnet.grad(self._out_name)[...] = self._g
-            for step in self.cnet.compiled.backward:
-                if step.kind != "comm":
-                    step.fn(self.cnet.buffers, self.cnet)
+            self.cnet.backward(seed_grads={self._out_name: self._g})
 
     def latte_fwd_bwd(self):
         self.latte_forward()
@@ -150,3 +148,60 @@ class Runners:
     def base_fwd_bwd(self):
         self.base_forward()
         self.base_backward()
+
+
+# -- memory measurement ------------------------------------------------------
+
+MEMORY_JSON = os.path.join(RESULTS_DIR, "BENCH_memory.json")
+
+
+def measure_memory(config: ModelConfig, batch: int, level: int = 4,
+                   num_threads: int = 1, keep_alive=None) -> Dict[str, int]:
+    """Peak bytes for one build + forward/backward of ``config``:
+    ``tracemalloc_peak`` (every Python/NumPy allocation during compile,
+    init, and one iteration) plus the compile-time planner accounting
+    (``naive_bytes``/``planned_bytes``/``arena_bytes`` from
+    :meth:`CompiledNet.memory_stats`)."""
+    x, y = make_inputs(config, batch)
+    tracemalloc.start()
+    try:
+        seed_all(1)
+        built = build_latte(config, batch)
+        cnet = built.init(CompilerOptions.level(level),
+                          num_threads=num_threads, keep_alive=keep_alive)
+        cnet.training = False
+        has_loss = any(
+            type(s).__name__ == "SoftmaxLossSpec" for s in config.layers
+        )
+        if has_loss:
+            cnet.forward(data=x, label=y)
+        else:
+            cnet.forward(data=x)
+        cnet.clear_param_grads()
+        cnet.backward()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    stats = cnet.memory_stats()
+    cnet.close()
+    return {
+        "tracemalloc_peak": int(peak),
+        "naive_bytes": int(stats["naive_bytes"]),
+        "planned_bytes": int(stats["planned_bytes"]),
+        "arena_bytes": int(stats["arena_bytes"]),
+    }
+
+
+def record_memory(figure: str, per_model: Dict[str, Dict[str, int]]) -> None:
+    """Merge one figure's per-model memory measurements into
+    ``benchmarks/results/BENCH_memory.json`` (keyed by figure name, so
+    repeated runs overwrite their own section only)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    data: Dict[str, dict] = {}
+    if os.path.exists(MEMORY_JSON):
+        with open(MEMORY_JSON) as f:
+            data = json.load(f)
+    data[figure] = per_model
+    with open(MEMORY_JSON, "w") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")

@@ -1,0 +1,138 @@
+"""CI perf smoke: fail on arena-size or forward-time regressions.
+
+One microbench configuration (a scaled-down LeNet) is compiled and run;
+two numbers are compared against the checked-in
+``benchmarks/perf_baseline.json``:
+
+* ``arena_bytes`` / ``planned_bytes`` — deterministic outputs of the
+  memory planner. Any growth beyond the threshold means a planner
+  regression (buffers dropping out of the pool, slabs fragmenting).
+* ``forward_units`` — forward wall-clock *calibrated* against a NumPy
+  GEMM loop timed on the same machine in the same process, so the
+  number is a machine-independent ratio (≈ "forwards per GEMM-second").
+  A >25% drop means per-step overhead crept back into the hot loop.
+
+Run directly (CI does) or with ``--update`` to rewrite the baseline
+after an intentional change::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py [--update]
+
+Exit status 0 on pass, 1 on regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from harness import make_inputs, median_time  # noqa: E402
+from repro.models import build_latte, lenet_config  # noqa: E402
+from repro.optim import CompilerOptions  # noqa: E402
+from repro.utils.rng import seed_all  # noqa: E402
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                             "perf_baseline.json")
+
+#: allowed regression on each tracked number (fractional)
+THRESHOLD = 0.25
+
+#: calibration GEMM: big enough to hit BLAS, small enough to finish fast
+_CAL_N = 192
+_CAL_REPS = 24
+
+
+def _calibrate() -> float:
+    """Seconds for the reference GEMM loop on this machine."""
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((_CAL_N, _CAL_N)).astype(np.float32)
+    b = rng.standard_normal((_CAL_N, _CAL_N)).astype(np.float32)
+
+    def loop():
+        c = a
+        for _ in range(_CAL_REPS):
+            c = a @ b
+        return c
+
+    return median_time(loop, repeats=9)
+
+
+def measure() -> dict:
+    cfg = lenet_config().scaled(channel_scale=0.5, input_size=28)
+    batch = 8
+    seed_all(1)
+    cnet = build_latte(cfg, batch).init(CompilerOptions.level(4))
+    cnet.training = False
+    x, y = make_inputs(cfg, batch)
+    cnet.forward(data=x, label=y)  # warm caches / BLAS init
+
+    def fwd():
+        cnet.forward(data=x, label=y)
+
+    t_fwd = median_time(fwd, repeats=9)
+    t_cal = _calibrate()
+    stats = cnet.memory_stats()
+    cnet.close()
+    return {
+        "arena_bytes": int(stats["arena_bytes"]),
+        "planned_bytes": int(stats["planned_bytes"]),
+        # machine-independent: how many forwards fit in one calibration
+        # loop's wall time (higher = faster forward)
+        "forward_units": round(t_cal / t_fwd, 3),
+    }
+
+
+def compare(current: dict, baseline: dict) -> list:
+    """Regressions vs baseline beyond THRESHOLD; empty = pass."""
+    problems = []
+    for key in ("arena_bytes", "planned_bytes"):
+        base, cur = baseline[key], current[key]
+        if cur > base * (1 + THRESHOLD):
+            problems.append(
+                f"{key}: {cur} vs baseline {base} "
+                f"(+{100 * (cur / base - 1):.0f}%, limit "
+                f"+{100 * THRESHOLD:.0f}%)"
+            )
+    base, cur = baseline["forward_units"], current["forward_units"]
+    if cur < base * (1 - THRESHOLD):
+        problems.append(
+            f"forward_units: {cur} vs baseline {base} "
+            f"(-{100 * (1 - cur / base):.0f}%, limit "
+            f"-{100 * THRESHOLD:.0f}%): forward hot loop slowed down"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this machine")
+    args = parser.parse_args(argv)
+    current = measure()
+    print("measured:", json.dumps(current, indent=2))
+    if args.update or not os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH, "w") as f:
+            json.dump(current, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+    with open(BASELINE_PATH) as f:
+        baseline = json.load(f)
+    problems = compare(current, baseline)
+    if problems:
+        print("PERF SMOKE FAILED:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print("perf smoke OK "
+          f"(thresholds ±{100 * THRESHOLD:.0f}% vs {BASELINE_PATH})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,14 @@ spends more time inside (shared) GEMM calls for its wide late layers.
 
 import pytest
 
-from harness import BENCH_GEOMETRY, Runners, median_time, report
+from harness import (
+    BENCH_GEOMETRY,
+    Runners,
+    measure_memory,
+    median_time,
+    record_memory,
+    report,
+)
 from repro.models import alexnet_config, overfeat_config, vgg_config
 
 FACTORIES = {
@@ -53,6 +60,20 @@ def speedups(bench_threads):
         tl = out[name][0]
         lines.append(f"{name:10s} t={bench_threads}: {tt*1e3:8.1f}ms "
                      f"({tl/tt:.2f}x over serial latte)")
+    # peak-memory companion rows: tracemalloc + arena-planner accounting
+    memory = {}
+    for name in FACTORIES:
+        cfg, batch = _config(name)
+        memory[name] = measure_memory(cfg, batch)
+        m = memory[name]
+        saved = m["naive_bytes"] - m["planned_bytes"]
+        lines.append(
+            f"{name:10s} mem: {m['planned_bytes']/1e6:6.1f}MB planned vs "
+            f"{m['naive_bytes']/1e6:6.1f}MB naive "
+            f"({100*saved/max(1, m['naive_bytes']):.0f}% reuse, "
+            f"tracemalloc peak {m['tracemalloc_peak']/1e6:.1f}MB)"
+        )
+    record_memory("fig14_imagenet_models", memory)
     report("fig14_imagenet_models", lines)
     return out
 
@@ -65,6 +86,17 @@ def test_fig14_latte_faster(benchmark, speedups, name):
                        warmup_rounds=1)
     tl, tc, s = speedups[name]
     assert s > 1.0, f"{name}: latte {tl:.3f}s vs caffe {tc:.3f}s"
+
+
+@pytest.mark.parametrize("name", list(FACTORIES))
+def test_fig14_memory_plan_reuse(name):
+    """The arena planner drops peak non-parameter buffer bytes by ≥30%
+    on every fig14 model (PR 4 acceptance criterion), at the *default*
+    keep-alive policy (every ensemble still inspectable)."""
+    cfg, batch = _config(name)
+    m = measure_memory(cfg, batch)
+    saved = m["naive_bytes"] - m["planned_bytes"]
+    assert saved / m["naive_bytes"] >= 0.30, m
 
 
 def test_fig14_all_models_in_band(speedups):

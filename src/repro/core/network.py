@@ -114,7 +114,7 @@ class Net:
     # -- compilation -----------------------------------------------------
 
     def init(self, options: Optional[object] = None, tracer=None,
-             num_threads=None):
+             num_threads=None, keep_alive=None):
         """Compile the network and allocate buffers (the paper's ``init``).
 
         Returns a :class:`~repro.runtime.executor.CompiledNet`. ``options``
@@ -123,12 +123,14 @@ class Net:
         :mod:`repro.trace`) enables runtime and compile-time tracing.
         ``num_threads`` enables batch-sharded thread-parallel execution
         of parallel-annotated steps (default: the ``REPRO_NUM_THREADS``
-        environment variable, else serial).
+        environment variable, else serial). ``keep_alive`` restricts
+        which ensembles stay inspectable under the memory planner (see
+        :func:`repro.optim.pipeline.compile_net`).
         """
         from repro.optim.pipeline import compile_net
 
         return compile_net(self, options, tracer=tracer,
-                           num_threads=num_threads)
+                           num_threads=num_threads, keep_alive=keep_alive)
 
 
 def add_connections(net: Net, source, sink, mapping, recurrent: bool = False):
@@ -137,6 +139,8 @@ def add_connections(net: Net, source, sink, mapping, recurrent: bool = False):
     return net.add_connections(source, sink, mapping, recurrent=recurrent)
 
 
-def init(net: Net, options=None, tracer=None, num_threads=None):
+def init(net: Net, options=None, tracer=None, num_threads=None,
+         keep_alive=None):
     """Module-level spelling of :meth:`Net.init`."""
-    return net.init(options, tracer=tracer, num_threads=num_threads)
+    return net.init(options, tracer=tracer, num_threads=num_threads,
+                    keep_alive=keep_alive)

@@ -42,10 +42,12 @@ class BuiltModel:
     output: object  # ensemble producing class scores (or last ensemble)
     loss: Optional[object]
 
-    def init(self, options=None, tracer=None, num_threads=None):
+    def init(self, options=None, tracer=None, num_threads=None,
+             keep_alive=None):
         """Compile the network (the paper's ``init``)."""
         return self.net.init(options, tracer=tracer,
-                             num_threads=num_threads)
+                             num_threads=num_threads,
+                             keep_alive=keep_alive)
 
 
 def build_latte(config: ModelConfig, batch_size: int,

@@ -25,6 +25,7 @@ from dataclasses import dataclass, replace
 from repro.codegen import c_backend, python_backend
 from repro.ir import Gemm
 from repro.optim import first_writer, fusion, parallel, pattern_match, tiling
+from repro.synthesis import liveness
 from repro.synthesis.lower import synthesize
 from repro.synthesis.plan import plan_buffers
 from repro.trace import NULL_TRACER
@@ -51,6 +52,11 @@ class CompilerOptions:
     fusion: bool = True
     tiling: bool = True
     parallel: bool = True
+    #: liveness-driven arena reuse (repro.synthesis.liveness): share
+    #: storage between buffers whose live intervals never overlap.
+    #: Bitwise-neutral — planned and unplanned runs produce identical
+    #: outputs (checked by the differential oracle)
+    memory_plan: bool = True
     #: tile count per tiled dimension (trip count of the tile loop)
     n_tiles: int = 4
     #: smallest tile height the tiler may create (see repro.optim.tiling)
@@ -68,6 +74,7 @@ class CompilerOptions:
             pattern_match=n >= 2,
             inplace=n >= 3,
             parallel=n >= 3,
+            memory_plan=n >= 3,
             tiling=n >= 4,
             fusion=n >= 4,
         )
@@ -96,7 +103,7 @@ def resolve_num_threads(num_threads=None) -> int:
 
 
 def compile_net(net, options: CompilerOptions | None = None, tracer=None,
-                num_threads=None):
+                num_threads=None, keep_alive=None):
     """Compile a :class:`~repro.core.network.Net` into a
     :class:`~repro.runtime.executor.CompiledNet`.
 
@@ -122,6 +129,15 @@ def compile_net(net, options: CompilerOptions | None = None, tracer=None,
         ``REPRO_NUM_THREADS`` environment variable, else 1; at 1 the
         compiled program and its execution are identical to the serial
         compiler. See DESIGN.md "Parallel execution".
+    keep_alive:
+        With ``options.memory_plan`` on: ensembles whose value/grad
+        arrays must stay individually allocated for post-run
+        ``value()``/``grad()`` inspection. ``None`` (default) keeps
+        every ensemble inspectable — the planner then pools only the
+        staging buffers (im2col inputs, gradient inputs, padded
+        gradients). Pass an explicit collection (data ensembles,
+        sinks, and loss feeders are always kept) to opt the rest into
+        the arena for maximum reuse. See docs/ARCHITECTURE.md §Buffers.
     """
     from repro.runtime.executor import CompiledNet
 
@@ -240,6 +256,30 @@ def compile_net(net, options: CompilerOptions | None = None, tracer=None,
                  + count_parallel(bwd_items),
                  "steps_sharded": parallel.count_sharded(fwd_items)
                  + parallel.count_sharded(bwd_items)},
+        before=lambda: counts["steps"],
+        after=lambda: counts["steps"],
+    )
+
+    # whole-program liveness + arena reuse: runs last so intervals see
+    # the final schedule (fusion order, parallel privatization marks).
+    # The backward list is first re-scheduled to shrink live intervals
+    # (hoist last readers above buffer births) — dependency-exact, so
+    # outputs are unchanged bitwise.
+    reorder_stats = {"steps_moved": 0}
+
+    def plan_mem():
+        reorder_stats["steps_moved"] = liveness.reorder_backward(
+            plan, bwd_items
+        )
+        plan.memory = liveness.plan_memory(
+            net, plan, fwd_items, bwd_items, keep_alive=keep_alive
+        )
+
+    run_pass(
+        "memory_plan",
+        options.memory_plan,
+        plan_mem,
+        lambda: dict(plan.memory.stats(), **reorder_stats),
         before=lambda: counts["steps"],
         after=lambda: counts["steps"],
     )

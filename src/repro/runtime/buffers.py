@@ -10,7 +10,12 @@ Materializes the :class:`~repro.synthesis.plan.BufferPlan`:
 * aliases become NumPy views of their base buffers, so e.g. an
   ActivationEnsemble's "value" literally is its source's value array, and
   a fully-connected layer's "inputs" is a 2-D reshape of the source's
-  activations — the shared memory regions of §5.2.
+  activations — the shared memory regions of §5.2;
+* when the plan carries a :class:`~repro.synthesis.liveness.MemoryPlan`,
+  pooled buffers become offset views into one shared **arena**
+  allocation instead of individual arrays — buffers whose live intervals
+  never overlap occupy the same bytes (whole-program reuse extending
+  §5.2's pairwise sharing).
 """
 
 from __future__ import annotations
@@ -19,24 +24,25 @@ from typing import Dict
 
 import numpy as np
 
+from repro.synthesis.liveness import full_shape
 from repro.synthesis.plan import BufferPlan, BufferSpec
 
 DTYPE = np.float32
 
 
 def allocate(plan: BufferPlan) -> Dict[str, np.ndarray]:
-    """Allocate/register all buffers; returns name → array."""
+    """Allocate/register all buffers; returns name → array.
+
+    With ``plan.memory`` attached, pooled buffers are carved out of a
+    single arena at the planner's offsets; the returned dict is shaped
+    identically either way (name → array of the buffer's full shape).
+    """
     bufs: Dict[str, np.ndarray] = {}
     deferred = []
-    batch, time = plan.batch_size, plan.time_steps
-
-    def lead_shape(spec: BufferSpec):
-        lead = ()
-        if spec.batched:
-            lead = (batch,)
-            if time > 1:
-                lead = (time, batch)
-        return lead
+    mem = plan.memory
+    arena = None
+    if mem is not None and mem.arena_elems:
+        arena = np.zeros(mem.arena_elems, DTYPE)
 
     for spec in plan.buffers.values():
         if spec.alias_of is not None:
@@ -50,8 +56,13 @@ def allocate(plan: BufferPlan) -> Dict[str, np.ndarray]:
                     f"float32, got {arr.dtype}"
                 )
             bufs[spec.name] = arr
+        elif arena is not None and spec.name in mem.offsets:
+            shape = full_shape(plan, spec)
+            n = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            off = mem.offsets[spec.name]
+            bufs[spec.name] = arena[off:off + n].reshape(shape)
         else:
-            bufs[spec.name] = np.zeros(lead_shape(spec) + spec.shape, DTYPE)
+            bufs[spec.name] = np.zeros(full_shape(plan, spec), DTYPE)
 
     remaining = deferred
     while remaining:
@@ -62,7 +73,8 @@ def allocate(plan: BufferPlan) -> Dict[str, np.ndarray]:
                 progressed.append(spec)
                 continue
             if spec.alias_reshape is not None:
-                lead = base.shape[: len(lead_shape(spec))]
+                n_lead = len(full_shape(plan, spec)) - len(spec.shape)
+                lead = base.shape[:n_lead]
                 bufs[spec.name] = base.reshape(lead + spec.alias_reshape)
             else:
                 bufs[spec.name] = base

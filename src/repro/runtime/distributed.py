@@ -112,15 +112,20 @@ def _profile_once(cnet, inputs, repeats):
         fwd += time.perf_counter() - t0
     fwd /= repeats
 
-    # per-step backward timing, accumulating compute between comm points
+    # per-step backward timing, accumulating compute between comm points;
+    # walks the pre-bound program so arena zero-defs and recurrent views
+    # are applied exactly as in a real run
     cnet._zero_grads()
     segments: List[Tuple[float, Optional[object]]] = []
-    for step in cnet.compiled.backward:
-        if step.kind == "comm":
+    for kind, fn, env, step, _t in cnet._entries["backward"]:
+        if kind == "comm":
             segments.append((0.0, step.comm))
             continue
+        if kind == "aux":
+            fn(env, cnet)  # untimed bookkeeping (set_t / zeroing)
+            continue
         t0 = time.perf_counter()
-        step.fn(cnet.buffers, cnet)
+        fn(env, cnet)
         segments.append((time.perf_counter() - t0, None))
 
     total = sum(t for t, _ in segments) or 1e-9
@@ -256,14 +261,13 @@ class MultiThreadTrainer:
         for rep in self.replicas[1:]:
             for p in rep.parameters():
                 m = master_params[p.key]
-                # share parameter values by replacing the buffer-table
-                # entries the generated code reads
-                rep.buffers[f"{p.ensemble}_{p.name}"] = m.value
-                p.value = m.value
+                # share parameter values by rebinding the buffer-table
+                # entries the generated code reads (rebind_buffer also
+                # refreshes the replica's pre-bound step programs and
+                # its ParamView value/grad references)
+                rep.rebind_buffer(f"{p.ensemble}_{p.name}", m.value)
                 if lossy:
-                    grad_name = _grad_buf_name(rep, p)
-                    rep.buffers[grad_name] = m.grad
-                    p.grad = m.grad
+                    rep.rebind_buffer(_grad_buf_name(rep, p), m.grad)
         self._pool = ThreadPoolExecutor(max_workers=n_workers)
 
     def train_epoch(self, solver, data: np.ndarray, labels: np.ndarray,

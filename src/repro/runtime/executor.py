@@ -11,6 +11,14 @@ forward/backward step lists. It
   ``CommCall`` (a no-op unless a distributed runtime is attached, §6),
 * exposes parameter/gradient views to solvers.
 
+Execution is driven by **pre-bound step programs** baked at init: for
+every (phase, time step) the argument table each step function receives
+— buffer views sliced to the right time step, recurrent reads shifted to
+``t - 1``, per-direction zero views for the ``t == 0`` initial state,
+and the memory planner's scheduled gradient zero-defs — is constructed
+once, so the serial hot loop is literally ``for fn, env in program:
+fn(env, self)`` with no per-call dict building or per-step branching.
+
 Compiled with ``num_threads > 1``, steps the parallel pass marked
 batch-shardable execute as contiguous batch shards on a persistent
 thread pool (§5.4.3 realized at runtime; see
@@ -26,7 +34,7 @@ code path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -37,6 +45,11 @@ from repro.trace import NULL_TRACER
 
 #: gradient-role buffers zeroed before every backward pass
 _GRAD_ROLES = ("grad", "grad_input", "padded_grad")
+
+#: pre-bound program entry kinds: 'task' (a compiled step), 'comm' (an
+#: async gradient-reduction insertion point), 'aux' (set current_t /
+#: zero a buffer — runs unconditionally, untraced)
+_TASK, _COMM, _AUX = "task", "comm", "aux"
 
 
 @dataclass
@@ -120,8 +133,130 @@ class CompiledNet:
             )
             for p in plan.params
         ]
-        self._zeros_cache: Dict[str, np.ndarray] = {}
+        #: arena-pooled base buffers (empty without a memory plan):
+        #: excluded from the blanket pre-backward zeroing (the planner
+        #: schedules their zero-defs in-program) and from inspection
+        mem = plan.memory
+        self._pooled = frozenset(mem.pooled) if mem is not None else frozenset()
         self._step_bytes: Dict[str, int] = {}
+        self._build_programs()
+
+    # -- pre-bound step programs --------------------------------------------
+
+    def _base_env(self, t: int) -> Dict[str, np.ndarray]:
+        """The name → array table steps see at time ``t`` (the buffer
+        table itself for untimed nets; per-``t`` slices otherwise)."""
+        if self.time_steps == 1:
+            return self.buffers
+        env: Dict[str, np.ndarray] = {}
+        for name, arr in self.buffers.items():
+            spec = self.plan.buffers.get(name)
+            if spec is not None and (spec.array is not None or not spec.batched):
+                env[name] = arr  # untimed parameter/shared field
+            else:
+                env[name] = arr[t]
+        return env
+
+    def _build_programs(self) -> None:
+        """Bake one argument table per (step, t): the hot loop then runs
+        ``fn(env, self)`` with zero per-call construction. Called once at
+        init and again by :meth:`rebind_buffer`."""
+        T = self.time_steps
+        mem = self.plan.memory
+        #: per-direction zero initial-state views — forward reads and
+        #: backward scatters must never share one tensor (a backward
+        #: t==0 scatter would pollute the zeros a forward t==0 read
+        #: expects); see tests/test_memory_plan.py's regression
+        self._zero_views: Dict[Tuple[str, str], np.ndarray] = {}
+        base_envs = {t: self._base_env(t) for t in range(T)}
+        # buffers the planner zero-defs in-program, keyed by backward
+        # step index (indices align: one Step per schedule item)
+        zero_at: Dict[int, List[str]] = {}
+        if mem is not None:
+            for buf, (phase, idx) in mem.zero_defs.items():
+                assert phase == "backward"
+                zero_at.setdefault(idx, []).append(buf)
+        self._entries: Dict[str, list] = {}
+        for phase, steps in (("forward", self.compiled.forward),
+                             ("backward", self.compiled.backward)):
+            entries: list = []
+            t_order = range(T) if phase == "forward" else range(T - 1, -1, -1)
+            first_t = True
+            for t in t_order:
+                env = base_envs[t]
+                entries.append((_AUX, _set_t_fn(t), env, None, t))
+                for idx, step in enumerate(steps):
+                    if step.kind == "comm":
+                        if t == 0:
+                            entries.append(
+                                (_COMM, _comm_fn(step), env, step, t))
+                        continue
+                    if phase == "backward" and first_t and idx in zero_at:
+                        arrs = tuple(self.buffers[b] for b in zero_at[idx])
+                        entries.append(
+                            (_AUX, _zero_fn(arrs), env, None, t))
+                    step_env = env
+                    if step.recurrent_reads:
+                        step_env = dict(env)
+                        if t == 0:
+                            zviews = []
+                            for name in sorted(step.recurrent_reads):
+                                z = self._zero_views.get((phase, name))
+                                if z is None:
+                                    proto = (self.buffers[name] if T == 1
+                                             else self.buffers[name][0])
+                                    z = np.zeros_like(proto)
+                                    self._zero_views[(phase, name)] = z
+                                zviews.append(z)
+                                step_env[name] = z
+                            # fresh zero state per step per iteration:
+                            # an earlier scatter into the same view must
+                            # not leak into this step's read
+                            entries.append(
+                                (_AUX, _zero_fn(tuple(zviews)), env, None, t))
+                        else:
+                            for name in step.recurrent_reads:
+                                step_env[name] = self.buffers[name][t - 1]
+                    entries.append((_TASK, step.fn, step_env, step, t))
+                first_t = False
+            self._entries[phase] = entries
+        #: the serial untraced hot path: kind/step/t stripped
+        self._fast = {
+            phase: [(fn, env) for _k, fn, env, _s, _t in entries]
+            for phase, entries in self._entries.items()
+        }
+
+    def rebind_buffer(self, name: str, array: np.ndarray) -> None:
+        """Replace one buffer-table entry (e.g. to share parameter
+        memory across replicas) and re-bake everything derived from it:
+        alias views, solver parameter views, and the pre-bound step
+        programs."""
+        old = self.buffers[name]
+        if array.shape != old.shape or array.dtype != old.dtype:
+            raise ValueError(
+                f"rebind_buffer({name!r}): shape/dtype mismatch "
+                f"({array.shape}/{array.dtype} vs {old.shape}/{old.dtype})"
+            )
+        self.buffers[name] = array
+        plan = self.plan
+        for spec in plan.buffers.values():
+            if spec.alias_of is None:
+                continue
+            if plan.resolve_alias(spec.name) != plan.resolve_alias(name):
+                continue
+            base = self.buffers[spec.alias_of]
+            if spec.alias_reshape is not None:
+                n_lead = base.ndim - len(spec.shape)
+                self.buffers[spec.name] = base.reshape(
+                    base.shape[: max(n_lead, 0)] + spec.alias_reshape
+                )
+            else:
+                self.buffers[spec.name] = base
+        for p, info in zip(self._params, plan.params):
+            p.value = self.buffers[info.value_buf]
+            p.grad = self.buffers[info.grad_buf]
+        self._step_bytes.clear()
+        self._build_programs()
 
     # -- introspection ------------------------------------------------------
 
@@ -138,9 +273,53 @@ class CompiledNet:
             self._step_bytes[step.name] = cached
         return cached
 
+    def memory_stats(self) -> Dict[str, int]:
+        """Non-parameter buffer footprint: ``naive_bytes`` (every buffer
+        individually allocated), ``planned_bytes`` (actual, after arena
+        reuse — equal to naive when the planner is off), and
+        ``arena_bytes`` (the shared pool's size)."""
+        mem = self.plan.memory
+        if mem is not None:
+            return {
+                "naive_bytes": mem.naive_bytes,
+                "planned_bytes": mem.planned_bytes,
+                "arena_bytes": mem.arena_bytes,
+            }
+        seen, naive = set(), 0
+        for name, spec in self.plan.buffers.items():
+            base = self.plan.resolve_alias(name)
+            if base in seen or spec.array is not None:
+                continue
+            base_spec = self.plan.buffers[base]
+            if base_spec.array is not None:
+                continue
+            seen.add(base)
+            naive += self.buffers[base].nbytes
+        return {"naive_bytes": naive, "planned_bytes": naive,
+                "arena_bytes": 0}
+
+    def memory_report(self):
+        """Slab-level view of the arena layout and peak-bytes accounting
+        (:class:`~repro.trace.report.MemoryReport`)."""
+        from repro.trace.report import MemoryReport
+
+        return MemoryReport.from_compiled(self)
+
     def summary(self) -> str:
-        """Parameter counts, buffer table size, and step counts per phase."""
+        """Parameter counts, buffer table size, planned vs naive peak
+        bytes, and step counts per phase."""
         n_params = sum(p.value.size for p in self._params)
+        mstats = self.memory_stats()
+        mem_line = (
+            f"  memory     : {mstats['planned_bytes'] / 1e6:.2f} MB planned"
+            f" vs {mstats['naive_bytes'] / 1e6:.2f} MB naive"
+        )
+        if mstats["naive_bytes"]:
+            saved = mstats["naive_bytes"] - mstats["planned_bytes"]
+            mem_line += (
+                f" ({100.0 * saved / mstats['naive_bytes']:.0f}% reuse, "
+                f"arena {mstats['arena_bytes'] / 1e6:.2f} MB)"
+            )
         seen, buf_bytes = set(), 0
         for name, spec in self.plan.buffers.items():
             base = self.plan.resolve_alias(name)
@@ -156,6 +335,7 @@ class CompiledNet:
             f"  parameters : {n_params:,} floats "
             f"({4 * n_params / 1e6:.2f} MB) in {len(self._params)} tensors",
             f"  buffers    : {len(seen)} arrays, {buf_bytes / 1e6:.2f} MB",
+            mem_line,
         ]
         for phase in ("forward", "backward"):
             steps = getattr(self.compiled, phase)
@@ -207,15 +387,26 @@ class CompiledNet:
         grad, lr_mult)`` tuples solvers iterate to apply updates."""
         return list(self._params)
 
+    def _inspectable(self, name: str, ens_name: str) -> np.ndarray:
+        if (self._pooled
+                and self.plan.resolve_alias(name) in self._pooled):
+            raise KeyError(
+                f"{ens_name!r} was opted out of inspection: its buffers "
+                f"share arena storage under the memory planner and do "
+                f"not survive the run. Add it to keep_alive= (or compile "
+                f"with CompilerOptions(memory_plan=False)) to inspect it."
+            )
+        return self.buffers[name]
+
     def value(self, ens_name: str) -> np.ndarray:
         """The value array of an ensemble (batch-leading; time-leading
         for recurrent nets)."""
-        return self.buffers[f"{ens_name}_value"]
+        return self._inspectable(f"{ens_name}_value", ens_name)
 
     def grad(self, ens_name: str) -> np.ndarray:
         """The gradient array of an ensemble (layout mirrors
         :meth:`value`)."""
-        return self.buffers[f"{ens_name}_grad"]
+        return self._inspectable(f"{ens_name}_grad", ens_name)
 
     @property
     def loss(self) -> float:
@@ -247,44 +438,6 @@ class CompiledNet:
 
     # -- execution ------------------------------------------------------------
 
-    def _views(self, t: int, recurrent_reads: frozenset) -> Dict[str, np.ndarray]:
-        if self.time_steps == 1:
-            if not recurrent_reads:
-                return self.buffers
-            # T == 1: recurrent reads see the zero initial state
-            view = dict(self.buffers)
-            for name in recurrent_reads:
-                z = self._zeros_cache.get(name)
-                if z is None:
-                    z = np.zeros_like(self.buffers[name])
-                    self._zeros_cache[name] = z
-                else:
-                    z[...] = 0
-                view[name] = z
-            return view
-        view: Dict[str, np.ndarray] = {}
-        for name, arr in self.buffers.items():
-            spec = self.plan.buffers.get(name)
-            if spec is not None and spec.array is not None:
-                view[name] = arr  # untimed parameter field
-                continue
-            if name in recurrent_reads:
-                if t == 0:
-                    # fresh zero state each hand-out: backward scatters
-                    # into this view (the discarded gradient to t = -1)
-                    z = self._zeros_cache.get(name)
-                    if z is None:
-                        z = np.zeros_like(arr[0])
-                        self._zeros_cache[name] = z
-                    else:
-                        z[...] = 0
-                    view[name] = z
-                else:
-                    view[name] = arr[t - 1]
-            else:
-                view[name] = arr[t]
-        return view
-
     def forward(self, **inputs) -> float:
         """Run forward propagation; returns the loss (0 if no loss layer).
 
@@ -295,110 +448,84 @@ class CompiledNet:
             self.set_input(name, arr)
         self._losses.clear()
         if self.num_shards > 1:
-            self._forward_parallel()
+            self._run_parallel("forward")
             return self.loss
         if self.tracer.enabled:
-            self._forward_traced()
+            self._run_traced("forward")
             return self.loss
-        for t in range(self.time_steps):
-            self.current_t = t
-            for step in self.compiled.forward:
-                if step.kind == "comm":
-                    continue
-                step.fn(self._views(t, step.recurrent_reads), self)
+        for fn, env in self._fast["forward"]:
+            fn(env, self)
         return self.loss
 
-    def backward(self) -> None:
-        """Run back-propagation (call after :meth:`forward`)."""
+    def backward(self, seed_grads: Optional[Dict[str, np.ndarray]] = None
+                 ) -> None:
+        """Run back-propagation (call after :meth:`forward`).
+
+        ``seed_grads`` optionally sets output-ensemble gradients after
+        the pre-backward zeroing — the entry point for nets without a
+        loss layer (``cnet.backward(seed_grads={'out': g})``).
+        """
         self._zero_grads()
+        if seed_grads:
+            for ens_name, g in seed_grads.items():
+                self.buffers[f"{ens_name}_grad"][...] = g
         if self.num_shards > 1:
-            self._backward_parallel()
+            self._run_parallel("backward")
             return
         if self.tracer.enabled:
-            self._backward_traced()
+            self._run_traced("backward")
             return
-        for t in reversed(range(self.time_steps)):
-            self.current_t = t
-            for step in self.compiled.backward:
-                if step.kind == "comm":
-                    if t == 0 and self.comm_hook is not None:
-                        grads = [self.buffers[g] for g in step.comm.params]
-                        self.comm_hook(step.comm.ensemble, grads)
-                    continue
-                step.fn(self._views(t, step.recurrent_reads), self)
+        for fn, env in self._fast["backward"]:
+            fn(env, self)
 
-    def _forward_traced(self) -> None:
-        """Forward pass emitting one span per executed task step."""
+    def _run_traced(self, phase: str) -> None:
+        """One phase emitting a span per task step (and per fired comm
+        hook); aux entries run silently."""
         tracer = self.tracer
-        for t in range(self.time_steps):
-            self.current_t = t
-            for step in self.compiled.forward:
-                if step.kind == "comm":
-                    continue
+        for kind, fn, env, step, t in self._entries[phase]:
+            if kind == _TASK:
                 token = tracer.begin(
-                    step.label, "forward", t=t, kind=step.kind,
+                    step.label, phase, t=t, kind=step.kind,
                     bytes=self.step_bytes(step), flops=step.flops,
                 )
-                step.fn(self._views(t, step.recurrent_reads), self)
+                fn(env, self)
                 tracer.end(token)
-
-    def _backward_traced(self) -> None:
-        """Backward pass emitting task and comm-hook spans."""
-        tracer = self.tracer
-        for t in reversed(range(self.time_steps)):
-            self.current_t = t
-            for step in self.compiled.backward:
-                if step.kind == "comm":
-                    if t == 0 and self.comm_hook is not None:
-                        token = tracer.begin(
-                            step.label, "comm", t=t, kind="comm",
-                            bytes=self.step_bytes(step),
-                        )
-                        grads = [self.buffers[g] for g in step.comm.params]
-                        self.comm_hook(step.comm.ensemble, grads)
-                        tracer.end(token)
-                    continue
-                token = tracer.begin(
-                    step.label, "backward", t=t, kind=step.kind,
-                    bytes=self.step_bytes(step), flops=step.flops,
-                )
-                step.fn(self._views(t, step.recurrent_reads), self)
-                tracer.end(token)
+            elif kind == _COMM:
+                if self.comm_hook is not None:
+                    token = tracer.begin(
+                        step.label, "comm", t=t, kind="comm",
+                        bytes=self.step_bytes(step),
+                    )
+                    grads = [self.buffers[g] for g in step.comm.params]
+                    self.comm_hook(step.comm.ensemble, grads)
+                    tracer.end(token)
+            else:
+                fn(env, self)
 
     # -- thread-parallel execution -------------------------------------------
 
-    def _forward_parallel(self) -> None:
-        """Forward pass with shardable steps split across the pool."""
-        for t in range(self.time_steps):
-            self.current_t = t
-            for step in self.compiled.forward:
-                if step.kind == "comm":
-                    continue
-                self._run_step_threaded(step, t, "forward")
-
-    def _backward_parallel(self) -> None:
-        """Backward pass with shardable steps split across the pool."""
+    def _run_parallel(self, phase: str) -> None:
+        """One phase with shardable steps split across the pool."""
         tracer = self.tracer
-        for t in reversed(range(self.time_steps)):
-            self.current_t = t
-            for step in self.compiled.backward:
-                if step.kind == "comm":
-                    if t == 0 and self.comm_hook is not None:
-                        grads = [self.buffers[g] for g in step.comm.params]
-                        if tracer.enabled:
-                            with tracer.span(
-                                step.label, "comm", t=t, kind="comm",
-                                bytes=self.step_bytes(step),
-                            ):
-                                self.comm_hook(step.comm.ensemble, grads)
-                        else:
+        for kind, fn, env, step, t in self._entries[phase]:
+            if kind == _TASK:
+                self._run_step_threaded(step, t, phase, env)
+            elif kind == _COMM:
+                if self.comm_hook is not None:
+                    grads = [self.buffers[g] for g in step.comm.params]
+                    if tracer.enabled:
+                        with tracer.span(
+                            step.label, "comm", t=t, kind="comm",
+                            bytes=self.step_bytes(step),
+                        ):
                             self.comm_hook(step.comm.ensemble, grads)
-                    continue
-                self._run_step_threaded(step, t, "backward")
+                    else:
+                        self.comm_hook(step.comm.ensemble, grads)
+            else:
+                fn(env, self)
 
-    def _run_step_threaded(self, step, t: int, cat: str) -> None:
+    def _run_step_threaded(self, step, t: int, cat: str, views) -> None:
         """Run one task step: sharded if marked, serial otherwise."""
-        views = self._views(t, step.recurrent_reads)
         tracer = self.tracer
         if not step.shardable:
             if tracer.enabled:
@@ -475,11 +602,15 @@ class CompiledNet:
             pass
 
     def _zero_grads(self) -> None:
+        # arena-pooled gradients are zeroed in-program by the planner's
+        # zero-defs (zeroing them here would clobber forward-phase slab
+        # tenants that backward still reads)
         for name, spec in self.plan.buffers.items():
             if (
                 spec.role in _GRAD_ROLES
                 and spec.alias_of is None
                 and spec.needs_zero
+                and name not in self._pooled
             ):
                 self.buffers[name][...] = 0
 
@@ -487,3 +618,35 @@ class CompiledNet:
         """Zero parameter gradients (called by solvers each iteration)."""
         for p in self._params:
             p.grad[...] = 0
+
+
+# -- pre-bound program auxiliaries (module-level so entries stay small) ----
+
+
+def _set_t_fn(t: int):
+    def set_t(env, rt, _t=t):
+        rt.current_t = _t
+    return set_t
+
+
+def _zero_fn(arrays: tuple):
+    if len(arrays) == 1:
+        a0 = arrays[0]
+
+        def zero_one(env, rt, _a=a0):
+            _a[...] = 0
+        return zero_one
+
+    def zero_many(env, rt, _arrs=arrays):
+        for a in _arrs:
+            a[...] = 0
+    return zero_many
+
+
+def _comm_fn(step):
+    def comm(env, rt, _step=step):
+        hook = rt.comm_hook
+        if hook is not None:
+            hook(_step.comm.ensemble,
+                 [rt.buffers[g] for g in _step.comm.params])
+    return comm

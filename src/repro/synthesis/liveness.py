@@ -1,0 +1,505 @@
+"""Whole-program buffer liveness and arena planning.
+
+The paper's §5.2 shares memory *pairwise* — an alias here, a dropped
+copy there. This module extends that to whole-program reuse, the way
+compiler-infrastructure successors to Latte (DLVM, DeepDSL) treat
+preallocation: given the final scheduled forward/backward step lists it
+
+1. computes, for every base (non-alias) buffer, a **live interval** over
+   the linearized program points ``[fwd item 0 .. fwd item F-1,
+   bwd item 0 .. bwd item B-1]``,
+2. decides which buffers are **pool candidates** — excluded are
+   parameter fields (user-owned arrays), field buffers written by opaque
+   ``pre_forward`` closures, privatized accumulators, recurrent-read
+   sources (their previous-time-step slices outlive the linear model),
+   padded *value* staging buffers (their zero border is written once at
+   allocation and never again), and everything in the ``keep_alive``
+   set (user-inspectable ``value()``/``grad()`` arrays), and
+3. assigns the candidates to shared **slabs** of a single arena by
+   first-fit interval-graph coloring (largest first), so buffers whose
+   intervals never overlap occupy the same bytes.
+
+A candidate is admitted only when its contents are fully (re)defined
+before every read of an iteration:
+
+* its first access in program order is a write that covers the buffer
+  (synthesized copy/compute/fill nests always span the full extents), or
+* it is a gradient-role buffer the executor used to blanket-zero before
+  each backward pass; the planner instead schedules a **zero def**
+  immediately before the buffer's first touching backward step (recorded
+  in :attr:`MemoryPlan.zero_defs`, materialized by the executor's
+  pre-bound step programs). Deferring the zero is what frees the slab
+  for forward-phase tenants and lets disjoint backward gradients chain
+  through the same bytes.
+
+For time-unrolled networks (``time_steps > 1``) the linear model is
+unsound *within* a phase — item ``i`` at time ``t+1`` executes after
+item ``j > i`` at time ``t`` — so sharing is restricted to pairs whose
+accesses fall in strictly different phases (forward-only with
+backward-only); every slice of the forward tenant is dead once the
+backward phase begins.
+
+The result is a :class:`MemoryPlan` stored on the
+:class:`~repro.synthesis.plan.BufferPlan`; ``repro.runtime.buffers``
+materializes it as offset views into one arena allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.ensemble import DataEnsemble, LossEnsemble
+from repro.ir import CommCall, ExternOp, buffers_read, buffers_written
+from repro.synthesis.plan import BufferPlan, BufferSpec
+
+#: float32 elements per alignment unit — 16 elements = 64 bytes, one
+#: cache line, matching what a fresh ``np.zeros`` typically provides
+ALIGN_ELEMS = 16
+
+#: gradient-role buffers eligible for a scheduled zero def
+GRAD_ROLES = ("grad", "grad_input", "padded_grad")
+
+
+@dataclass
+class Interval:
+    """Live range of one base buffer over the linearized program."""
+
+    buffer: str
+    #: linear point of the first/last access (-1 when never touched)
+    first: int = -1
+    last: int = -1
+    #: phases ('forward'/'backward') with at least one access
+    phases: Set[str] = field(default_factory=set)
+    #: kind of the first access: 'w' (clean write), 'r' (read or
+    #: read-modify-write), 'x' (extern touch), None (dead)
+    first_kind: Optional[str] = None
+
+    @property
+    def dead(self) -> bool:
+        return self.first < 0
+
+    def overlaps(self, other: "Interval") -> bool:
+        if self.dead or other.dead:
+            return False
+        return self.first <= other.last and other.first <= self.last
+
+
+@dataclass
+class Slab:
+    """One shared region of the arena."""
+
+    offset: int  # float32 elements from arena start (aligned)
+    elems: int  # size in float32 elements (max over members)
+    members: List[str] = field(default_factory=list)
+
+
+@dataclass
+class MemoryPlan:
+    """Arena layout + bookkeeping produced by :func:`plan_memory`."""
+
+    #: base buffer name -> float32-element offset into the arena
+    offsets: Dict[str, int] = field(default_factory=dict)
+    #: total arena size in float32 elements
+    arena_elems: int = 0
+    slabs: List[Slab] = field(default_factory=list)
+    #: base buffers sharing arena storage (not individually allocated)
+    pooled: frozenset = frozenset()
+    #: buffer -> (phase, item_index): zero the full array right before
+    #: this step on the first-executed time step of the phase, replacing
+    #: the executor's blanket pre-backward zeroing for pooled buffers
+    zero_defs: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+    #: every base buffer's live interval (kept ones too, for reporting)
+    intervals: Dict[str, Interval] = field(default_factory=dict)
+    #: bytes of non-parameter buffers without pooling / with pooling
+    naive_bytes: int = 0
+    planned_bytes: int = 0
+    #: why each non-candidate buffer was kept (reporting/tests)
+    kept_reasons: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def arena_bytes(self) -> int:
+        return 4 * self.arena_elems
+
+    @property
+    def saved_bytes(self) -> int:
+        return self.naive_bytes - self.planned_bytes
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Fraction of naive non-parameter bytes eliminated by reuse."""
+        if not self.naive_bytes:
+            return 0.0
+        return self.saved_bytes / self.naive_bytes
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "buffers_pooled": len(self.pooled),
+            "slabs": len(self.slabs),
+            "arena_bytes": self.arena_bytes,
+            "naive_bytes": self.naive_bytes,
+            "planned_bytes": self.planned_bytes,
+            "saved_bytes": self.saved_bytes,
+            "reuse_pct": round(100.0 * self.reuse_fraction, 2),
+        }
+
+
+def full_shape(plan: BufferPlan, spec: BufferSpec) -> Tuple[int, ...]:
+    """Allocated shape of a buffer including batch/time lead axes
+    (mirrors ``repro.runtime.buffers.allocate``)."""
+    lead: Tuple[int, ...] = ()
+    if spec.batched and spec.array is None:
+        lead = (plan.batch_size,)
+        if plan.time_steps > 1:
+            lead = (plan.time_steps, plan.batch_size)
+    return lead + tuple(spec.shape)
+
+
+def buffer_elems(plan: BufferPlan, spec: BufferSpec) -> int:
+    n = 1
+    for d in full_shape(plan, spec):
+        n *= d
+    return n
+
+
+# ---------------------------------------------------------------------------
+# Access walk
+# ---------------------------------------------------------------------------
+
+
+def _item_accesses(item) -> Iterable[Tuple[str, str]]:
+    """Yield ``(buffer, kind)`` in execution order for one schedule item.
+
+    ``kind`` is ``'r'`` (read, including the target of a reduction or an
+    index array), ``'w'`` (write) or ``'x'`` (opaque extern touch). A
+    statement's reads are yielded before its write, so a buffer whose
+    first yielded access is ``'w'`` is defined before any use.
+    """
+    if isinstance(item, CommCall):
+        for b in item.params:
+            yield b, "r"
+        return
+    for unit in item.units:
+        stmt = unit.stmt
+        if isinstance(stmt, ExternOp):
+            for b in stmt.buffers:
+                yield b, "x"
+            continue
+        reads = buffers_read(stmt)
+        for b in sorted(reads):
+            yield b, "r"
+        for b in sorted(buffers_written(stmt)):
+            yield b, "w"
+
+
+def _scan(plan: BufferPlan, fwd_items, bwd_items):
+    """First/last/kind-of-first-access per *base* buffer, plus the
+    first touching backward item index per base (for zero defs)."""
+    intervals: Dict[str, Interval] = {}
+    first_bwd_item: Dict[str, int] = {}
+    point = 0
+    for phase, items in (("forward", fwd_items), ("backward", bwd_items)):
+        for idx, item in enumerate(items):
+            for name, kind in _item_accesses(item):
+                if name not in plan.buffers:
+                    continue  # extern-declared scratch outside the plan
+                base = plan.resolve_alias(name)
+                iv = intervals.get(base)
+                if iv is None:
+                    iv = intervals[base] = Interval(base)
+                if iv.first < 0:
+                    iv.first = point
+                    iv.first_kind = kind
+                iv.last = point
+                iv.phases.add(phase)
+                if phase == "backward" and base not in first_bwd_item:
+                    first_bwd_item[base] = idx
+            point += 1
+    # dead buffers still get interval records
+    for name, spec in plan.buffers.items():
+        if spec.alias_of is None and name not in intervals:
+            intervals[name] = Interval(name)
+    return intervals, first_bwd_item
+
+
+def _recurrent_bases(plan: BufferPlan, fwd_items, bwd_items) -> Set[str]:
+    """Bases read (or scattered into) at the previous time step."""
+    out: Set[str] = set()
+    for items in (fwd_items, bwd_items):
+        for item in items:
+            reads = getattr(item, "recurrent_reads", None)
+            if reads:
+                for name in reads:
+                    if name in plan.buffers:
+                        out.add(plan.resolve_alias(name))
+    return out
+
+
+def _mandatory_keep_ensembles(net) -> Set[str]:
+    """Ensembles whose value/grad arrays outlive the program contract:
+    data inputs (fed/inspected outside the step lists), network sinks
+    (the user reads outputs / seeds output gradients), and ensembles
+    feeding a loss (inspected as ``value('head')`` by convention)."""
+    keep: Set[str] = set()
+    has_consumer = {c.source.name for c in net.connections}
+    for ens in net.ensembles.values():
+        if isinstance(ens, DataEnsemble):
+            keep.add(ens.name)
+        elif isinstance(ens, LossEnsemble):
+            for c in ens.inputs:
+                keep.add(c.source.name)
+        elif ens.name not in has_consumer:
+            keep.add(ens.name)
+    return keep
+
+
+# ---------------------------------------------------------------------------
+# Memory-aware backward scheduling
+# ---------------------------------------------------------------------------
+
+
+def _item_rw(plan: BufferPlan, item) -> Tuple[Set[str], Set[str]]:
+    """Base-resolved (reads, writes) of one schedule item; opaque extern
+    touches count as both."""
+    reads: Set[str] = set()
+    writes: Set[str] = set()
+    for name, kind in _item_accesses(item):
+        if name not in plan.buffers:
+            continue
+        base = plan.resolve_alias(name)
+        if kind in ("r", "x"):
+            reads.add(base)
+        if kind in ("w", "x"):
+            writes.add(base)
+    return reads, writes
+
+
+def reorder_backward(plan: BufferPlan, bwd_items: list) -> int:
+    """Reorder the backward schedule in place to shrink live intervals.
+
+    Stable, dependency-exact list scheduling: among the ready items,
+    greedily pick the one that frees the most bytes (it is the last
+    remaining toucher of large buffers) net of the bytes it births
+    (buffers it touches first). The weight-gradient GEMM — the *last*
+    reader of a conv layer's im2col buffer — is thereby hoisted above
+    the data-gradient GEMM that *births* the equally-large grad-input
+    buffer, making the two intervals disjoint so the planner can overlay
+    them. Ties fall back to the original order.
+
+    Only the relative order of provably independent items changes, and
+    every step reads bit-identical operands in either order, so outputs
+    are unchanged bitwise. Extern items (loss/norm closures with
+    interpreter-visible side effects) and comm items are additionally
+    kept in their original relative order. Time-unrolled schedules are
+    left untouched — the linear dependence model does not cover
+    cross-iteration recurrent carries. Returns the number of items that
+    moved.
+    """
+    n = len(bwd_items)
+    if plan.time_steps > 1 or n < 3:
+        return 0
+    rw = [_item_rw(plan, item) for item in bwd_items]
+    opaque = [
+        isinstance(item, CommCall)
+        or any(isinstance(u.stmt, ExternOp) for u in item.units)
+        for item in bwd_items
+    ]
+    succs: List[List[int]] = [[] for _ in range(n)]
+    indeg = [0] * n
+    for i in range(n):
+        ri, wi = rw[i]
+        for j in range(i + 1, n):
+            rj, wj = rw[j]
+            if (wi & (rj | wj)) or (ri & wj) or (opaque[i] and opaque[j]):
+                succs[i].append(j)
+                indeg[j] += 1
+    touchers: Dict[str, int] = {}
+    seen_bases: Set[str] = set()
+    for reads, writes in rw:
+        for b in reads | writes:
+            touchers[b] = touchers.get(b, 0) + 1
+    nbytes = {
+        b: 4 * buffer_elems(plan, plan.buffers[b])
+        for b in touchers
+        if plan.buffers[b].array is None
+    }
+
+    def score(i: int) -> int:
+        reads, writes = rw[i]
+        freed = born = 0
+        for b in reads | writes:
+            size = nbytes.get(b)
+            if size is None:
+                continue  # parameter storage is permanent
+            if touchers[b] == 1:
+                freed += size
+            if b not in seen_bases:
+                born += size
+        return freed - born
+
+    order: List[int] = []
+    ready = [i for i in range(n) if indeg[i] == 0]
+    while ready:
+        best = max(ready, key=lambda i: (score(i), -i))
+        ready.remove(best)
+        order.append(best)
+        reads, writes = rw[best]
+        for b in reads | writes:
+            touchers[b] -= 1
+            seen_bases.add(b)
+        for j in succs[best]:
+            indeg[j] -= 1
+            if indeg[j] == 0:
+                ready.append(j)
+    assert len(order) == n  # the dep graph is acyclic by construction
+    moved = sum(1 for pos, i in enumerate(order) if pos != i)
+    if moved:
+        bwd_items[:] = [bwd_items[i] for i in order]
+    return moved
+
+
+# ---------------------------------------------------------------------------
+# Planner
+# ---------------------------------------------------------------------------
+
+
+def plan_memory(
+    net,
+    plan: BufferPlan,
+    fwd_items,
+    bwd_items,
+    keep_alive: Optional[Iterable[str]] = None,
+) -> MemoryPlan:
+    """Compute the arena layout for one compiled schedule.
+
+    ``keep_alive`` lists ensembles whose value/grad buffers must stay
+    individually allocated for post-run inspection. ``None`` (the
+    default) keeps *every* ensemble inspectable — reuse then comes from
+    the input/grad-input/padded staging buffers, which dominate
+    footprint for convolutional nets (the im2col copies). Passing an
+    explicit collection opts the remaining ensembles out of inspection
+    and into the pool; data ensembles, network sinks, and loss feeders
+    are always kept regardless.
+    """
+    mem = MemoryPlan()
+    intervals, first_bwd_item = _scan(plan, fwd_items, bwd_items)
+    mem.intervals = intervals
+    recurrent = _recurrent_bases(plan, fwd_items, bwd_items)
+
+    keep_bufs: Set[str] = set()
+    keep_ens = _mandatory_keep_ensembles(net)
+    if keep_alive is None:
+        keep_ens |= set(net.ensembles)
+    else:
+        keep_ens |= {str(e) for e in keep_alive}
+    unknown = keep_ens - set(net.ensembles)
+    if unknown:
+        raise KeyError(
+            f"keep_alive names unknown ensembles: {sorted(unknown)}"
+        )
+    for e in keep_ens:
+        for name in (plan.value_buf(e), plan.grad_buf(e)):
+            if name in plan.buffers:
+                keep_bufs.add(plan.resolve_alias(name))
+
+    privatized = {
+        plan.resolve_alias(n)
+        for n in plan.private_accums
+        if n in plan.buffers
+    }
+
+    def keep_reason(base: str, spec: BufferSpec) -> Optional[str]:
+        iv = intervals[base]
+        if spec.array is not None:
+            return "parameter"
+        if spec.role == "field":
+            return "field"  # written by opaque pre_forward closures
+        if spec.role == "padded":
+            return "pad-border"  # zero border written only at allocation
+        if base in privatized:
+            return "privatized"
+        if base in recurrent:
+            return "recurrent"
+        if base in keep_bufs:
+            return "keep_alive"
+        if iv.dead:
+            return None  # dead buffers pool freely
+        if iv.first_kind == "w":
+            return None  # defined before use every iteration
+        if spec.role in GRAD_ROLES and spec.needs_zero:
+            if iv.phases == {"backward"} and base in first_bwd_item:
+                return None  # zero def scheduled below
+            return "grad-outside-backward"
+        return "live-in"  # first access reads state from a prior run
+
+    candidates: List[str] = []
+    for base, spec in plan.buffers.items():
+        if spec.alias_of is not None:
+            continue
+        reason = keep_reason(base, spec)
+        if reason is None:
+            candidates.append(base)
+        else:
+            mem.kept_reasons[base] = reason
+
+    # schedule zero defs for pooled gradient buffers that used to rely
+    # on the executor's blanket pre-backward zeroing
+    for base in candidates:
+        spec = plan.buffers[base]
+        iv = intervals[base]
+        if (
+            spec.role in GRAD_ROLES
+            and spec.needs_zero
+            and not iv.dead
+            and iv.first_kind != "w"
+        ):
+            mem.zero_defs[base] = ("backward", first_bwd_item[base])
+
+    # -- interval-graph coloring: first fit, largest first ------------------
+    elems = {b: buffer_elems(plan, plan.buffers[b]) for b in candidates}
+    multiphase = plan.time_steps > 1
+
+    def conflicts(a: str, b: str) -> bool:
+        ia, ib = intervals[a], intervals[b]
+        if ia.dead or ib.dead:
+            return False
+        if multiphase:
+            # the linear model is only sound across the phase barrier
+            return bool(ia.phases & ib.phases)
+        return ia.overlaps(ib)
+
+    slabs: List[Slab] = []
+    for b in sorted(candidates, key=lambda b: (-elems[b], b)):
+        placed = None
+        for slab in slabs:
+            if all(not conflicts(b, m) for m in slab.members):
+                placed = slab
+                break
+        if placed is None:
+            placed = Slab(offset=0, elems=0)
+            slabs.append(placed)
+        placed.members.append(b)
+        placed.elems = max(placed.elems, elems[b])
+
+    offset = 0
+    for slab in slabs:
+        slab.offset = offset
+        for m in slab.members:
+            mem.offsets[m] = offset
+        offset += -(-slab.elems // ALIGN_ELEMS) * ALIGN_ELEMS
+    mem.arena_elems = offset
+    mem.slabs = slabs
+    mem.pooled = frozenset(candidates)
+
+    # -- accounting (non-parameter bytes) -----------------------------------
+    naive = planned = 0
+    for base, spec in plan.buffers.items():
+        if spec.alias_of is not None or spec.array is not None:
+            continue
+        nbytes = 4 * buffer_elems(plan, spec)
+        naive += nbytes
+        if base not in mem.pooled:
+            planned += nbytes
+    mem.naive_bytes = naive
+    mem.planned_bytes = planned + mem.arena_bytes
+    return mem

@@ -121,6 +121,11 @@ class BufferPlan:
     #: sharding (filled by repro.optim.parallel, allocated by
     #: repro.runtime.buffers.allocate_private)
     private_accums: Dict[str, PrivateAccum] = field(default_factory=dict)
+    #: whole-program liveness/arena layout (a
+    #: :class:`repro.synthesis.liveness.MemoryPlan`), attached by the
+    #: compile pipeline's ``memory_plan`` pass; None = every buffer is
+    #: individually allocated
+    memory: Optional[object] = None
 
     def add(self, spec: BufferSpec) -> str:
         if spec.name in self.buffers:

@@ -125,19 +125,23 @@ class OracleReport:
         return "\n".join(lines)
 
 
-def run_spec(spec: NetSpec, level: int = 0,
-             num_threads: int = 1) -> RunResult:
+def run_spec(spec: NetSpec, level: int = 0, num_threads: int = 1,
+             memory_plan: Optional[bool] = None) -> RunResult:
     """Build + compile ``spec`` at one configuration and run one
     forward/backward on its deterministic inputs.
 
     The library RNG is reseeded from ``spec.seed`` before construction,
     so parameter initialization and dropout masks are identical across
     every (level, threads) configuration of the same spec.
+    ``memory_plan`` overrides the level's default arena-planner setting
+    (O3+ on, below off) for the planned-vs-unplanned bitwise checks.
     """
     seed_all(spec.seed)
     net = build_net(spec)
     opts = CompilerOptions.level(level)
     opts.min_tile_rows = 2  # tiny fuzz geometry: keep tiling engaged
+    if memory_plan is not None:
+        opts.memory_plan = memory_plan
     cnet = compile_net(net, opts, num_threads=num_threads)
     x, y = make_inputs(spec)
     loss = cnet.forward(data=x, label=y)
@@ -342,12 +346,27 @@ def check_spec(
                       tol["level_atol"], tol["level_param_rtol"],
                       tol["level_param_atol"])
 
+    # the arena planner must be bitwise-neutral: reuse changes where
+    # buffers live, never what the steps compute (DESIGN.md §5.2)
+    memplan_level = max(levels) if levels else 4
+    if memplan_level >= 3:
+        check = "memplan"
+        report.checks.append(check)
+        planned = by_level.get(memplan_level)
+        if planned is None:
+            planned = run_spec(spec, level=memplan_level)
+        _compare_bitwise(
+            check, planned,
+            run_spec(spec, level=memplan_level, memory_plan=False),
+            report.mismatches)
+
     if threads and spec.batch > 1:
         thread_level = max(levels) if levels else 4
         serial = by_level.get(thread_level)
         if serial is None:
             serial = run_spec(spec, level=thread_level)
         reproducibility_checked = False
+        memplan_threads_checked = False
         for nt in threads:
             if nt <= 1:
                 continue
@@ -369,6 +388,17 @@ def check_spec(
                     check, run_spec(spec, level=thread_level,
                                     num_threads=nt),
                     parallel, report.mismatches)
+            if not memplan_threads_checked and thread_level >= 3:
+                # planner neutrality must also hold under sharding
+                # (shared slabs + per-shard privates interact)
+                memplan_threads_checked = True
+                check = f"memplan-threads:{nt}"
+                report.checks.append(check)
+                _compare_bitwise(
+                    check, parallel,
+                    run_spec(spec, level=thread_level, num_threads=nt,
+                             memory_plan=False),
+                    report.mismatches)
 
     if gradcheck_indices:
         report.checks.append("gradcheck")

@@ -10,7 +10,7 @@ aggregate it with :meth:`RecordingTracer.profile` or open it in
 
 from repro.trace.chrome import export_chrome_trace, to_trace_events
 from repro.trace.compile_report import CompileReport, PassRecord
-from repro.trace.report import ProfileReport, ProfileRow
+from repro.trace.report import MemoryReport, ProfileReport, ProfileRow
 from repro.trace.tracer import (
     Metric,
     NULL_TRACER,
@@ -22,6 +22,7 @@ from repro.trace.tracer import (
 
 __all__ = [
     "CompileReport",
+    "MemoryReport",
     "Metric",
     "NULL_TRACER",
     "NullTracer",

@@ -126,3 +126,72 @@ class ProfileReport:
 
     def __str__(self) -> str:
         return self.table()
+
+
+@dataclass
+class MemoryReport:
+    """Printed view of a compiled net's buffer-memory footprint: the
+    arena planner's slab layout and peak-bytes accounting (naive =
+    every non-parameter buffer individually allocated, planned = after
+    interval-based reuse)."""
+
+    naive_bytes: int
+    planned_bytes: int
+    arena_bytes: int
+    #: (offset_bytes, size_bytes, member buffer names) per shared slab
+    slabs: List[Tuple[int, int, List[str]]] = field(default_factory=list)
+    #: buffer -> reason it was excluded from pooling
+    kept_reasons: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_compiled(cls, cnet) -> "MemoryReport":
+        stats = cnet.memory_stats()
+        mem = cnet.plan.memory
+        slabs = []
+        kept: Dict[str, str] = {}
+        if mem is not None:
+            slabs = [(4 * s.offset, 4 * s.elems, list(s.members))
+                     for s in mem.slabs]
+            kept = dict(mem.kept_reasons)
+        return cls(stats["naive_bytes"], stats["planned_bytes"],
+                   stats["arena_bytes"], slabs, kept)
+
+    @property
+    def saved_bytes(self) -> int:
+        return self.naive_bytes - self.planned_bytes
+
+    @property
+    def reuse_fraction(self) -> float:
+        return self.saved_bytes / self.naive_bytes if self.naive_bytes else 0.0
+
+    def table(self, max_members: int = 4) -> str:
+        lines = [
+            f"peak buffer bytes: {self.planned_bytes / 1e6:.2f} MB planned"
+            f" vs {self.naive_bytes / 1e6:.2f} MB naive"
+            f" ({100 * self.reuse_fraction:.1f}% reuse)",
+        ]
+        if not self.slabs:
+            lines.append("no arena (memory planner off or nothing pooled)")
+            return "\n".join(lines)
+        lines.append(
+            f"arena: {self.arena_bytes / 1e6:.2f} MB in "
+            f"{len(self.slabs)} slabs"
+        )
+        header = f"{'offset':>10s} {'KB':>9s}  members"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for off, size, members in self.slabs:
+            shown = ", ".join(members[:max_members])
+            if len(members) > max_members:
+                shown += f", … (+{len(members) - max_members})"
+            lines.append(f"{off:10d} {size / 1024:9.1f}  {shown}")
+        if self.kept_reasons:
+            counts: Dict[str, int] = {}
+            for reason in self.kept_reasons.values():
+                counts[reason] = counts.get(reason, 0) + 1
+            kept = ", ".join(f"{r}: {n}" for r, n in sorted(counts.items()))
+            lines.append(f"kept out of pool — {kept}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.table()

@@ -37,13 +37,9 @@ def rng():
 
 
 def run_backward_seeded(cnet, ens_name, grad):
-    """Seed an ensemble's gradient and run the backward steps directly
+    """Seed an ensemble's gradient and run the backward program
     (bypassing loss layers) — shared helper for layer-level tests."""
-    cnet._zero_grads()
-    cnet.grad(ens_name)[...] = grad
-    for step in cnet.compiled.backward:
-        if step.kind != "comm":
-            step.fn(cnet.buffers, cnet)
+    cnet.backward(seed_grads={ens_name: grad})
 
 
 @pytest.fixture

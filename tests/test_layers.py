@@ -79,13 +79,8 @@ class TestFullyConnected:
         cn = net.init()
         x = _x((7,))
         cn.forward(data=x)
-        cn._zero_grads()
         ga, gb = _x((5,), 1), _x((4,), 2)
-        cn.grad("a")[...] = ga
-        cn.grad("b")[...] = gb
-        for step in cn.compiled.backward:
-            if step.kind != "comm":
-                step.fn(cn.buffers, cn)
+        cn.backward(seed_grads={"a": ga, "b": gb})
         expected = ga @ cn.buffers["a_weights"].T + gb @ cn.buffers["b_weights"].T
         np.testing.assert_allclose(cn.grad("data"), expected, rtol=1e-4,
                                    atol=1e-5)
@@ -131,8 +126,10 @@ class TestConvolution:
         cn.forward(data=_x((3, 8, 8)))
         g = _x((4, 8, 8), 5)
         cn.clear_param_grads()
+        # snapshot the im2col staging buffer before backward: it is
+        # arena-pooled, so its bytes are reused once its last read runs
+        col = cn.buffers["conv_inputs0"].copy()
         run_backward_seeded(cn, "conv", g)
-        col = cn.buffers["conv_inputs0"]
         ref = np.einsum("nkyx,nfyx->kf", col, g)
         np.testing.assert_allclose(cn.buffers["conv_grad_weights"], ref,
                                    rtol=1e-4, atol=1e-4)
