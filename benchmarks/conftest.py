@@ -17,9 +17,22 @@ def pytest_addoption(parser):
         help="executor thread counts to benchmark in addition to serial; "
         "e.g. --threads 4 adds num_threads=4 rows to Fig 13/14",
     )
+    parser.addoption(
+        "--inference",
+        action="store_true",
+        default=False,
+        help="add forward-only rows: inference-compiled latency and "
+        "planned-bytes delta vs the train graph (Fig 14)",
+    )
 
 
 @pytest.fixture(scope="session")
 def bench_threads(request):
     """Thread count from ``--threads`` (1 = serial-only benchmarks)."""
     return max(1, request.config.getoption("--threads"))
+
+
+@pytest.fixture(scope="session")
+def bench_inference(request):
+    """Whether ``--inference`` asked for forward-only benchmark rows."""
+    return bool(request.config.getoption("--inference"))

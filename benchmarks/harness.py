@@ -156,19 +156,25 @@ MEMORY_JSON = os.path.join(RESULTS_DIR, "BENCH_memory.json")
 
 
 def measure_memory(config: ModelConfig, batch: int, level: int = 4,
-                   num_threads: int = 1, keep_alive=None) -> Dict[str, int]:
+                   num_threads: int = 1, keep_alive=None,
+                   mode: str = "train") -> Dict[str, int]:
     """Peak bytes for one build + forward/backward of ``config``:
     ``tracemalloc_peak`` (every Python/NumPy allocation during compile,
     init, and one iteration) plus the compile-time planner accounting
     (``naive_bytes``/``planned_bytes``/``arena_bytes`` from
-    :meth:`CompiledNet.memory_stats`)."""
+    :meth:`CompiledNet.memory_stats`). ``mode="inference"`` compiles
+    forward-only (gradient buffers pruned, no backward run) — the
+    ``--inference`` benchmark axis."""
     x, y = make_inputs(config, batch)
+    inference = mode == "inference"
     tracemalloc.start()
     try:
         seed_all(1)
         built = build_latte(config, batch)
-        cnet = built.init(CompilerOptions.level(level),
-                          num_threads=num_threads, keep_alive=keep_alive)
+        options = (CompilerOptions.inference(level) if inference
+                   else CompilerOptions.level(level))
+        cnet = built.init(options, num_threads=num_threads,
+                          keep_alive=keep_alive)
         cnet.training = False
         has_loss = any(
             type(s).__name__ == "SoftmaxLossSpec" for s in config.layers
@@ -177,8 +183,9 @@ def measure_memory(config: ModelConfig, batch: int, level: int = 4,
             cnet.forward(data=x, label=y)
         else:
             cnet.forward(data=x)
-        cnet.clear_param_grads()
-        cnet.backward()
+        if not inference:
+            cnet.clear_param_grads()
+            cnet.backward()
         _current, peak = tracemalloc.get_traced_memory()
     finally:
         tracemalloc.stop()
@@ -204,4 +211,19 @@ def record_memory(figure: str, per_model: Dict[str, Dict[str, int]]) -> None:
     data[figure] = per_model
     with open(MEMORY_JSON, "w") as f:
         json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+# -- serving measurement -----------------------------------------------------
+
+SERVING_JSON = os.path.join(RESULTS_DIR, "BENCH_serving.json")
+
+
+def record_serving(payload: Dict[str, object]) -> None:
+    """Persist the serving-smoke measurements (latency percentiles,
+    batch fill, train-vs-inference memory) to
+    ``benchmarks/results/BENCH_serving.json``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(SERVING_JSON, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")

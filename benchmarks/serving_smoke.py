@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""End-to-end serving smoke: train → checkpoint → boot the CLI server
+in a fresh process → concurrent HTTP clients → bitwise check.
+
+This is the ``serving-smoke`` CI job body, runnable locally::
+
+    PYTHONPATH=src python benchmarks/serving_smoke.py
+
+It proves the whole deployment path across a process boundary: the
+checkpoint alone (no shared Python state) is enough for ``python -m
+repro.serve`` to reproduce the training process's eval-mode forward
+**bitwise**, through dynamic batching, under concurrency. Measurements
+land in ``benchmarks/results/BENCH_serving.json``.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+from harness import record_serving  # noqa: E402
+
+from repro.data import synthetic_mnist  # noqa: E402
+from repro.models import build_latte, mlp_config  # noqa: E402
+from repro.optim import CompilerOptions  # noqa: E402
+from repro.serve import save_checkpoint  # noqa: E402
+from repro.solvers import (  # noqa: E402
+    SGD,
+    LRPolicy,
+    MomPolicy,
+    SolverParameters,
+    solve,
+)
+from repro.utils.rng import seed_all  # noqa: E402
+
+N_REQUESTS = 32
+BATCH = 8
+
+
+def main() -> int:
+    seed_all(0)
+    config = mlp_config()
+    built = build_latte(config, BATCH)
+    cnet = built.init(CompilerOptions.level(4))
+    params = SolverParameters(lr_policy=LRPolicy.Fixed(0.05),
+                              mom_policy=MomPolicy.Fixed(0.9), max_epoch=2)
+    train, test = synthetic_mnist(600, 120, flat=True)
+    hist = solve(SGD(params), cnet, train, test, output_ens="ip2")
+    print(f"trained: losses {[round(l, 4) for l in hist.losses]}")
+
+    ckpt = os.path.join(tempfile.mkdtemp(), "smoke.npz")
+    save_checkpoint(ckpt, cnet, config=config, output="ip2",
+                    epoch=len(hist.losses))
+
+    # the bitwise reference: this process's eval-mode forward
+    cnet.training = False
+    items = test.data[:N_REQUESTS]
+    reference = []
+    for start in range(0, N_REQUESTS, BATCH):
+        chunk = items[start:start + BATCH]
+        cnet.forward(data=chunk, label=np.zeros((len(chunk), 1), np.float32))
+        reference.append(cnet.value("ip2").copy())
+    reference = np.concatenate(reference)
+    train_planned = cnet.memory_stats()["planned_bytes"]
+    cnet.close()
+
+    # boot the CLI in a fresh process on an ephemeral port
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--checkpoint", ckpt,
+         "--port", "0", "--batch-size", str(BATCH), "--replicas", "2",
+         "--max-latency-ms", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env,
+    )
+    try:
+        line = proc.stdout.readline()
+        print(line.rstrip())
+        m = re.search(r"http://([\d.]+):(\d+)", line)
+        assert m, f"server did not announce an address: {line!r}"
+        base = f"http://{m.group(1)}:{m.group(2)}"
+
+        with urllib.request.urlopen(base + "/healthz", timeout=10) as r:
+            assert json.load(r) == {"ok": True}
+
+        # concurrent single-item clients — every row must round-trip
+        results = [None] * N_REQUESTS
+
+        def client(i):
+            body = json.dumps({"inputs": [items[i].tolist()]}).encode()
+            req = urllib.request.Request(
+                base + "/predict", data=body,
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                results[i] = json.load(resp)["outputs"][0]
+
+        t0 = time.monotonic()
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(N_REQUESTS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.monotonic() - t0
+
+        got = np.asarray(results, np.float32)
+        assert np.array_equal(got, reference), (
+            "batched serving in a fresh process must be bitwise-equal "
+            "to the training process's eval forward"
+        )
+        print(f"{N_REQUESTS} concurrent HTTP requests in {wall:.2f}s: "
+              f"outputs bitwise-equal across the process boundary")
+
+        with urllib.request.urlopen(base + "/stats", timeout=10) as r:
+            stats = json.load(r)
+        print(f"server stats: {stats}")
+        assert stats["served"] == N_REQUESTS
+        assert stats["shed"] == 0
+        assert stats["planned_bytes"] < train_planned, (
+            "forward-only compilation should plan a smaller arena"
+        )
+
+        record_serving({
+            "requests": N_REQUESTS,
+            "batch_size": BATCH,
+            "replicas": stats["replicas"],
+            "batches": stats["batches"],
+            "mean_batch_fill": stats["mean_batch_fill"],
+            "latency_ms": stats.get("latency_ms", {}),
+            "wall_seconds": round(wall, 3),
+            "throughput_rps": round(N_REQUESTS / wall, 1),
+            "train_planned_bytes": int(train_planned),
+            "inference_planned_bytes": int(stats["planned_bytes"]),
+            "bitwise_equal": True,
+        })
+        print("wrote benchmarks/results/BENCH_serving.json")
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

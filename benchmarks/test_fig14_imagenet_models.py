@@ -35,7 +35,7 @@ def _config(name):
 
 
 @pytest.fixture(scope="module")
-def speedups(bench_threads):
+def speedups(bench_threads, bench_inference):
     out = {}
     for name in FACTORIES:
         cfg, batch = _config(name)
@@ -73,6 +73,28 @@ def speedups(bench_threads):
             f"({100*saved/max(1, m['naive_bytes']):.0f}% reuse, "
             f"tracemalloc peak {m['tracemalloc_peak']/1e6:.1f}MB)"
         )
+    if bench_inference:
+        # the --inference axis: forward-only latency plus the planner's
+        # train-vs-inference footprint delta (gradient buffers pruned)
+        from harness import latte_net, make_inputs
+        from repro.optim import CompilerOptions
+
+        for name in FACTORIES:
+            cfg, batch = _config(name)
+            cnet = latte_net(cfg, batch,
+                             options=CompilerOptions.inference())
+            x, y = make_inputs(cfg, batch)
+            ti = median_time(lambda: cnet.forward(data=x, label=y),
+                             repeats=3)
+            mi = cnet.memory_stats()
+            cnet.close()
+            mt = memory[name]
+            lines.append(
+                f"{name:10s} inference: fwd {ti*1e3:8.1f}ms, "
+                f"{mi['planned_bytes']/1e6:6.1f}MB planned vs "
+                f"{mt['planned_bytes']/1e6:6.1f}MB train "
+                f"(-{100 * (1 - mi['planned_bytes'] / max(1, mt['planned_bytes'])):.0f}%)"
+            )
     record_memory("fig14_imagenet_models", memory)
     report("fig14_imagenet_models", lines)
     return out

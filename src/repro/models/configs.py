@@ -15,7 +15,7 @@ kernel/stride/padding structure faithful.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import List, Optional, Tuple, Union
 
 
@@ -70,6 +70,38 @@ class SoftmaxLossSpec:
 LayerSpec = Union[
     ConvSpec, ReLUSpec, PoolSpec, FCSpec, DropoutSpec, LRNSpec, SoftmaxLossSpec
 ]
+
+#: layer-spec registry for (de)serialization — checkpoints record model
+#: architecture as type-tagged dicts (see repro.serve.checkpoint)
+SPEC_TYPES = {
+    cls.__name__: cls
+    for cls in (ConvSpec, ReLUSpec, PoolSpec, FCSpec, DropoutSpec,
+                LRNSpec, SoftmaxLossSpec)
+}
+
+
+def config_to_dict(config: "ModelConfig") -> dict:
+    """A JSON-serializable rendering of a :class:`ModelConfig`."""
+    return {
+        "name": config.name,
+        "input_shape": list(config.input_shape),
+        "classes": config.classes,
+        "layers": [
+            dict(asdict(spec), type=type(spec).__name__)
+            for spec in config.layers
+        ],
+    }
+
+
+def config_from_dict(d: dict) -> "ModelConfig":
+    """Inverse of :func:`config_to_dict`."""
+    layers = []
+    for entry in d["layers"]:
+        entry = dict(entry)
+        cls = SPEC_TYPES[entry.pop("type")]
+        layers.append(cls(**entry))
+    return ModelConfig(d["name"], tuple(d["input_shape"]), tuple(layers),
+                       d["classes"])
 
 
 @dataclass(frozen=True)

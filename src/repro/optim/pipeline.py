@@ -63,6 +63,20 @@ class CompilerOptions:
     min_tile_rows: int = 32
     #: emit the C++/OpenMP rendering alongside the executable program
     emit_c: bool = True
+    #: ``'train'`` compiles the full forward+backward program;
+    #: ``'inference'`` synthesizes a forward-only program — backward
+    #: sections are empty, gradient/staging buffers are pruned from the
+    #: buffer table, the executor starts with ``training = False``
+    #: (dropout masks pinned to 1, normalization in running-stats mode),
+    #: and the memory planner defaults to an empty ``keep_alive`` set
+    #: for maximum activation-slab reuse. See docs/SERVING.md.
+    mode: str = "train"
+
+    def __post_init__(self):
+        if self.mode not in ("train", "inference"):
+            raise ValueError(
+                f"mode must be 'train' or 'inference', got {self.mode!r}"
+            )
 
     @classmethod
     def level(cls, n: int) -> "CompilerOptions":
@@ -78,6 +92,11 @@ class CompilerOptions:
             tiling=n >= 4,
             fusion=n >= 4,
         )
+
+    @classmethod
+    def inference(cls, n: int = 4) -> "CompilerOptions":
+        """Forward-only compilation at opt level ``n`` (default O4)."""
+        return replace(cls.level(n), mode="inference")
 
 
 OPT_LEVELS = {f"O{n}": CompilerOptions.level(n) for n in range(5)}
@@ -137,11 +156,18 @@ def compile_net(net, options: CompilerOptions | None = None, tracer=None,
         staging buffers (im2col inputs, gradient inputs, padded
         gradients). Pass an explicit collection (data ensembles,
         sinks, and loss feeders are always kept) to opt the rest into
-        the arena for maximum reuse. See docs/ARCHITECTURE.md §Buffers.
+        the arena for maximum reuse. Under ``options.mode ==
+        'inference'`` the default flips to the *empty* set — serving
+        wants throughput, not inspection — and ``None`` must be
+        spelled ``keep_alive=list(net.ensembles)`` to keep everything.
+        See docs/ARCHITECTURE.md §Buffers and docs/SERVING.md.
     """
     from repro.runtime.executor import CompiledNet
 
     options = options or CompilerOptions()
+    inference = options.mode == "inference"
+    if inference and keep_alive is None:
+        keep_alive = ()
     tracer = tracer if tracer is not None else NULL_TRACER
     num_threads = resolve_num_threads(num_threads)
     report = CompileReport()
@@ -256,6 +282,22 @@ def compile_net(net, options: CompilerOptions | None = None, tracer=None,
                  + count_parallel(bwd_items),
                  "steps_sharded": parallel.count_sharded(fwd_items)
                  + parallel.count_sharded(bwd_items)},
+        before=lambda: counts["steps"],
+        after=lambda: counts["steps"],
+    )
+
+    # inference compilation: with the backward program empty, the
+    # gradient/staging half of the buffer table is unreferenced — drop
+    # it before the planner runs so naive/planned accounting and the
+    # arena itself reflect the forward-only footprint
+    prune_stats: dict = {}
+    run_pass(
+        "prune_buffers",
+        inference,
+        lambda: prune_stats.update(
+            liveness.prune_unused_buffers(plan, fwd_items, bwd_items)
+        ),
+        lambda: dict(prune_stats),
         before=lambda: counts["steps"],
         after=lambda: counts["steps"],
     )

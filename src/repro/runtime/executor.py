@@ -113,7 +113,13 @@ class CompiledNet:
             allocate_private(plan, self.num_shards)
             if self.num_shards > 1 else {}
         )
-        self.training = True
+        #: compilation mode: 'train' (full program) or 'inference'
+        #: (forward-only; :meth:`backward` refuses to run)
+        self.mode = getattr(options, "mode", "train")
+        #: read by stochastic/normalization closures (dropout mask
+        #: sampling, batch-norm batch-vs-running statistics); inference
+        #: programs start — and should stay — in eval semantics
+        self.training = self.mode != "inference"
         #: current time step, exposed to extern closures so loss and
         #: normalization layers can stash per-step state
         self.current_t = 0
@@ -331,6 +337,8 @@ class CompiledNet:
             f"CompiledNet: {len(self.net.ensembles)} ensembles, "
             f"batch {self.batch_size}"
             + (f", {self.time_steps} time steps" if self.time_steps > 1
+               else "")
+            + (", inference (forward-only)" if self.mode == "inference"
                else ""),
             f"  parameters : {n_params:,} floats "
             f"({4 * n_params / 1e6:.2f} MB) in {len(self._params)} tensors",
@@ -339,6 +347,10 @@ class CompiledNet:
         ]
         for phase in ("forward", "backward"):
             steps = getattr(self.compiled, phase)
+            if not steps:
+                # forward-only programs have no backward phase at all —
+                # don't print an empty/zero row for it
+                continue
             tasks = sum(1 for s in steps if s.kind == "task")
             comms = sum(1 for s in steps if s.kind == "comm")
             fused = sum(1 for s in steps if "+" in s.label)
@@ -388,6 +400,13 @@ class CompiledNet:
         return list(self._params)
 
     def _inspectable(self, name: str, ens_name: str) -> np.ndarray:
+        if name not in self.plan.buffers:
+            kind = name.rsplit("_", 1)[-1]
+            raise KeyError(
+                f"{ens_name!r} has no {kind} buffer in this program"
+                + (" (pruned by mode='inference' compilation)"
+                   if self.mode == "inference" else "")
+            )
         if (self._pooled
                 and self.plan.resolve_alias(name) in self._pooled):
             raise KeyError(
@@ -465,6 +484,12 @@ class CompiledNet:
         the pre-backward zeroing — the entry point for nets without a
         loss layer (``cnet.backward(seed_grads={'out': g})``).
         """
+        if self.mode == "inference":
+            raise RuntimeError(
+                "this net was compiled with mode='inference': the "
+                "backward program and its gradient buffers do not "
+                "exist. Recompile with mode='train' to backpropagate."
+            )
         self._zero_grads()
         if seed_grads:
             for ens_name, g in seed_grads.items():

@@ -1,0 +1,38 @@
+"""Inference serving: forward-only compilation artifacts, checkpoints,
+and a dynamic-batching model server (see docs/SERVING.md).
+
+The compiler side lives in ``CompilerOptions(mode="inference")`` /
+``CompilerOptions.inference()``; this package provides everything after
+compilation: persisting trained parameters (:mod:`repro.serve.checkpoint`),
+micro-batching request admission (:mod:`repro.serve.batcher`), and the
+replica-pool server with its stdlib HTTP front end
+(:mod:`repro.serve.server`). ``python -m repro.serve --checkpoint m.npz``
+boots the whole stack from one artifact.
+"""
+
+from repro.serve.batcher import (
+    BatcherClosedError,
+    DynamicBatcher,
+    QueueFullError,
+    Request,
+)
+from repro.serve.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.serve.server import ModelServer, make_http_server
+
+__all__ = [
+    "BatcherClosedError",
+    "Checkpoint",
+    "CheckpointError",
+    "DynamicBatcher",
+    "ModelServer",
+    "QueueFullError",
+    "Request",
+    "load_checkpoint",
+    "make_http_server",
+    "save_checkpoint",
+]

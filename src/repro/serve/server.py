@@ -1,0 +1,342 @@
+"""The model server: replica pool + dynamic batcher + HTTP front end.
+
+A :class:`ModelServer` owns one or more *replicas* — forward-only
+compiled copies of the same network — and a
+:class:`~repro.serve.batcher.DynamicBatcher`. Each replica gets a
+worker thread that loops: take the next micro-batch, zero-pad it to the
+compiled batch size if ragged, run ``forward``, slice the real rows
+back out, and complete the per-request handles. Replicas share
+parameter storage through ``CompiledNet.rebind_buffer`` — one set of
+weight arrays serves every worker, so N replicas cost N× activation
+memory but 1× parameter memory.
+
+Observability goes through the PR-1 tracer: a ``serve``-category span
+per executed batch plus ``serve.latency_ms`` / ``serve.queue_depth`` /
+``serve.batch_fill`` metric events; :meth:`ModelServer.stats` reduces
+the same measurements to served/shed counters and p50/p95/p99 request
+latency with no tracer attached.
+
+``make_http_server`` wraps a :class:`ModelServer` in a stdlib
+``ThreadingHTTPServer`` with ``POST /predict``, ``GET /healthz`` and
+``GET /stats`` endpoints; ``python -m repro.serve`` is the CLI (see
+:mod:`repro.serve.__main__`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serve.batcher import (
+    BatcherClosedError,
+    DynamicBatcher,
+    QueueFullError,
+    Request,
+)
+from repro.trace import NULL_TRACER
+
+#: how many recent request latencies the percentile window keeps
+_LATENCY_WINDOW = 10_000
+
+
+class ModelServer:
+    """Serve single-item prediction requests over replica workers.
+
+    Parameters
+    ----------
+    replicas:
+        Forward-only ``CompiledNet`` replicas of one network, all at the
+        same batch size. Replica 0 owns the parameter storage; the rest
+        are rebound onto it at construction (``share_params=False``
+        skips that, for replicas that are already sharing).
+    output:
+        Ensemble whose value array is the prediction (sliced per row).
+    max_latency:
+        Seconds the oldest queued request may wait before a ragged
+        flush (the batcher's latency trigger).
+    max_queue:
+        Admission bound; beyond it :meth:`submit` sheds with
+        :class:`~repro.serve.batcher.QueueFullError`.
+    data_name / label_name:
+        DataEnsemble fed with request items / zero-filled dummy labels
+        (loss-bearing training graphs still expect a label input at
+        forward time; ``None`` if the net has no label ensemble —
+        detected automatically by default).
+    """
+
+    def __init__(self, replicas: Sequence, output: str, *,
+                 max_latency: float = 0.005, max_queue: int = 64,
+                 data_name: str = "data",
+                 label_name: Optional[str] = "auto",
+                 share_params: bool = True, tracer=None):
+        if not replicas:
+            raise ValueError("need at least one replica")
+        batches = {r.batch_size for r in replicas}
+        if len(batches) != 1:
+            raise ValueError(f"replicas disagree on batch size: {batches}")
+        self.replicas = list(replicas)
+        self.output = output
+        self.batch_size = self.replicas[0].batch_size
+        self.data_name = data_name
+        if label_name == "auto":
+            label_name = ("label" if "label"
+                          in self.replicas[0]._data_names else None)
+        self.label_name = label_name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.item_shape = tuple(
+            self.replicas[0].value(data_name).shape[1:]
+        )
+        if share_params and len(self.replicas) > 1:
+            primary = self.replicas[0]
+            for replica in self.replicas[1:]:
+                for info in replica.plan.params:
+                    replica.rebind_buffer(
+                        info.value_buf, primary.buffers[info.value_buf]
+                    )
+        self.batcher = DynamicBatcher(self.batch_size, max_latency,
+                                      max_queue)
+        self._lock = threading.Lock()
+        self._served = 0
+        self._shed = 0
+        self._batches = 0
+        self._rows = 0
+        self._latencies: List[float] = []
+        self._workers = [
+            threading.Thread(target=self._worker_loop, args=(i,),
+                             name=f"serve-worker-{i}", daemon=True)
+            for i in range(len(self.replicas))
+        ]
+        self._closed = False
+        for w in self._workers:
+            w.start()
+
+    # -- client API ---------------------------------------------------------
+
+    def submit(self, item: np.ndarray) -> Request:
+        """Enqueue one item (no batch axis); returns a waitable
+        :class:`~repro.serve.batcher.Request`. Sheds with
+        :class:`~repro.serve.batcher.QueueFullError` when the queue is
+        at capacity."""
+        item = np.asarray(item, dtype=np.float32)
+        if item.shape != self.item_shape:
+            raise ValueError(
+                f"item shape {item.shape} != expected {self.item_shape}"
+            )
+        try:
+            req = self.batcher.submit(item)
+        except QueueFullError:
+            with self._lock:
+                self._shed += 1
+            raise
+        self.tracer.metric("serve.queue_depth", self.batcher.depth())
+        return req
+
+    def predict(self, item: np.ndarray,
+                timeout: Optional[float] = 30.0) -> np.ndarray:
+        """Blocking single-item convenience: submit + wait."""
+        return self.submit(item).wait(timeout)
+
+    # -- worker side --------------------------------------------------------
+
+    def _worker_loop(self, index: int) -> None:
+        replica = self.replicas[index]
+        while True:
+            batch = self.batcher.next_batch()
+            if batch is None:
+                return
+            self._run_batch(replica, batch, index)
+
+    def _run_batch(self, replica, batch: List[Request],
+                   index: int) -> None:
+        n = len(batch)
+        x = np.zeros((self.batch_size,) + self.item_shape, np.float32)
+        for i, req in enumerate(batch):
+            x[i] = req.item
+        inputs = {self.data_name: x}
+        if self.label_name is not None:
+            inputs[self.label_name] = np.zeros(
+                replica.value(self.label_name).shape, np.float32
+            )
+        try:
+            with self.tracer.span("serve.batch", "serve", replica=index,
+                                  rows=n, batch=self.batch_size):
+                replica.forward(**inputs)
+            out = replica.value(self.output)[:n].copy()
+        except BaseException as exc:  # complete waiters, then bookkeep
+            for req in batch:
+                req.error = exc
+                req.done.set()
+            return
+        now = time.monotonic()
+        for i, req in enumerate(batch):
+            req.result = out[i]
+            req.latency = now - req.enqueued_at
+            req.done.set()
+        with self._lock:
+            self._served += n
+            self._batches += 1
+            self._rows += self.batch_size
+            self._latencies.extend(req.latency for req in batch)
+            if len(self._latencies) > _LATENCY_WINDOW:
+                del self._latencies[:-_LATENCY_WINDOW]
+        for req in batch:
+            self.tracer.metric("serve.latency_ms", req.latency * 1e3)
+        self.tracer.metric("serve.batch_fill", n / self.batch_size)
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Counters plus request-latency percentiles over the recent
+        window (p50/p95/p99, milliseconds)."""
+        with self._lock:
+            lat = np.asarray(self._latencies, np.float64)
+            out: Dict[str, object] = {
+                "served": self._served,
+                "shed": self._shed,
+                "batches": self._batches,
+                "replicas": len(self.replicas),
+                "batch_size": self.batch_size,
+                "queue_depth": self.batcher.depth(),
+                "mean_batch_fill": (
+                    round(self._served / self._rows, 4) if self._rows else 0.0
+                ),
+                # per-replica forward-only arena footprint (inference
+                # compiles plan a smaller arena than train graphs)
+                "planned_bytes": int(
+                    self.replicas[0].memory_stats()["planned_bytes"]
+                ),
+            }
+        if lat.size:
+            p50, p95, p99 = np.percentile(lat, [50, 95, 99])
+            out["latency_ms"] = {
+                "p50": round(1e3 * float(p50), 3),
+                "p95": round(1e3 * float(p95), 3),
+                "p99": round(1e3 * float(p99), 3),
+                "mean": round(1e3 * float(lat.mean()), 3),
+            }
+        return out
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Drain and stop: refuse new work, serve everything queued,
+        join the workers, release the replicas. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.batcher.shutdown()
+        for w in self._workers:
+            w.join(timeout)
+        for replica in self.replicas:
+            replica.close()
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @classmethod
+    def from_checkpoint(cls, path: str, *, batch_size: int = 8,
+                        replicas: int = 1, options=None,
+                        output: Optional[str] = None,
+                        num_threads: Optional[int] = None,
+                        tracer=None, **kwargs) -> "ModelServer":
+        """Cold-start a server from a checkpoint artifact: rebuild the
+        architecture, compile ``replicas`` forward-only copies at
+        ``batch_size``, restore parameters once, and share them."""
+        from repro.serve.checkpoint import load_checkpoint
+
+        ck = load_checkpoint(path)
+        out = output or ck.output
+        if out is None:
+            raise ValueError(
+                "checkpoint records no output ensemble; pass output="
+            )
+        nets = [
+            ck.compile(batch_size, options=options,
+                       num_threads=num_threads, tracer=tracer)
+            for _ in range(replicas)
+        ]
+        return cls(nets, out, tracer=tracer, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end (stdlib only)
+# ---------------------------------------------------------------------------
+
+
+def make_http_server(server: ModelServer, host: str = "127.0.0.1",
+                     port: int = 8080) -> ThreadingHTTPServer:
+    """A ``ThreadingHTTPServer`` exposing ``server``:
+
+    * ``POST /predict`` — body ``{"inputs": [item, ...]}`` where each
+      item is a nested list matching the model's input shape; responds
+      ``{"outputs": [...], "latency_ms": ...}``. Answers 503 when the
+      batcher sheds (queue full) and 400 on malformed bodies.
+    * ``GET /healthz`` — liveness.
+    * ``GET /stats`` — the :meth:`ModelServer.stats` JSON.
+
+    Call ``serve_forever()`` on the result (or ``handle_request()`` in
+    tests); ``shutdown()`` + ``ModelServer.close()`` to stop.
+    """
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def _reply(self, code: int, payload: dict) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+            if self.path == "/healthz":
+                self._reply(200, {"ok": True})
+            elif self.path == "/stats":
+                self._reply(200, server.stats())
+            else:
+                self._reply(404, {"error": f"no route {self.path}"})
+
+        def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+            if self.path != "/predict":
+                self._reply(404, {"error": f"no route {self.path}"})
+                return
+            t0 = time.monotonic()
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                payload = json.loads(self.rfile.read(length))
+                items = payload["inputs"]
+            except (ValueError, KeyError, TypeError) as exc:
+                self._reply(400, {"error": f"bad request body: {exc}"})
+                return
+            try:
+                handles = [server.submit(np.asarray(item, np.float32))
+                           for item in items]
+            except QueueFullError:
+                self._reply(503, {"error": "overloaded, retry later"})
+                return
+            except (ValueError, BatcherClosedError) as exc:
+                self._reply(400, {"error": str(exc)})
+                return
+            try:
+                outputs = [h.wait(30.0).tolist() for h in handles]
+            except BaseException as exc:
+                self._reply(500, {"error": str(exc)})
+                return
+            self._reply(200, {
+                "outputs": outputs,
+                "latency_ms": round(1e3 * (time.monotonic() - t0), 3),
+            })
+
+        def log_message(self, fmt, *args):  # quiet by default
+            pass
+
+    return ThreadingHTTPServer((host, port), Handler)

@@ -74,6 +74,10 @@ def solve(
     shuffle: bool = True,
     rng=None,
     tracer=None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    resume_from: Optional[str] = None,
+    checkpoint_config=None,
 ) -> TrainHistory:
     """Train ``cnet`` on ``train`` with ``solver``.
 
@@ -86,14 +90,45 @@ def solve(
     plus one ``train``-category span per epoch; it defaults to the
     network's attached tracer so step spans and training metrics land on
     the same timeline.
+
+    ``checkpoint_every=N`` writes a :mod:`repro.serve.checkpoint`
+    artifact to ``checkpoint_path`` after every N completed epochs
+    (atomically — an interrupt mid-write never corrupts the last good
+    snapshot), capturing parameters, solver state, the RNG stream, and
+    the history so far; ``checkpoint_config`` optionally embeds the
+    :class:`~repro.models.ModelConfig` so the artifact can also
+    cold-start a server. ``resume_from=`` restores all of that and
+    continues from the recorded epoch: the loss trajectory of an
+    interrupted-and-resumed run is bitwise-identical to an
+    uninterrupted one (pinned in tests/test_checkpoint.py), because the
+    shuffle/dropout RNG state is restored *in place* on the shared
+    library generator.
     """
     rng = rng or get_rng()
     epochs = epochs if epochs is not None else solver.params.max_epoch
     if tracer is None:
         tracer = getattr(cnet, "tracer", None) or NULL_TRACER
+    if checkpoint_every is not None and checkpoint_path is None:
+        raise ValueError("checkpoint_every= needs checkpoint_path=")
     hist = TrainHistory()
+    start_epoch = 0
+    if resume_from is not None:
+        from repro.serve.checkpoint import load_checkpoint
+
+        ck = load_checkpoint(resume_from)
+        ck.restore_params(cnet)
+        if ck.meta.get("solver") is not None:
+            ck.restore_solver(solver)
+        if ck.meta.get("rng_state") is not None:
+            ck.restore_rng(rng)
+        saved = ck.history
+        if saved is not None:
+            hist.losses.extend(saved["losses"])
+            hist.train_accuracy.extend(saved["train_accuracy"])
+            hist.test_accuracy.extend(saved["test_accuracy"])
+        start_epoch = ck.epoch
     cnet.training = True
-    for _epoch in range(epochs):
+    for _epoch in range(start_epoch, epochs):
         token = tracer.begin("epoch", "train", epoch=_epoch)
         epoch_loss, n_batches, iter_time = 0.0, 0, 0.0
         for sel in _batches(len(train), cnet.batch_size, rng, shuffle):
@@ -126,4 +161,13 @@ def solve(
                 tracer.metric("test_accuracy", hist.test_accuracy[-1],
                               epoch=_epoch)
         tracer.end(token)
+        if (checkpoint_every is not None
+                and (_epoch + 1) % checkpoint_every == 0):
+            from repro.serve.checkpoint import save_checkpoint
+
+            save_checkpoint(
+                checkpoint_path, cnet, config=checkpoint_config,
+                output=output_ens, solver=solver, epoch=_epoch + 1,
+                history=hist, rng=rng,
+            )
     return hist

@@ -254,6 +254,62 @@ def _mandatory_keep_ensembles(net) -> Set[str]:
 
 
 # ---------------------------------------------------------------------------
+# Forward-only buffer pruning (inference compilation)
+# ---------------------------------------------------------------------------
+
+
+def prune_unused_buffers(plan: BufferPlan, fwd_items, bwd_items) -> Dict[str, int]:
+    """Drop buffer-table entries no scheduled item references.
+
+    Used by inference compilation: with the backward program empty, the
+    gradient/accumulator half of the table (``*_grad``, ``*_grad_inputs``,
+    padded-gradient staging) is dead weight that would otherwise be
+    allocated — or worse, admitted to the arena and distort its layout.
+
+    Kept regardless of references:
+
+    * parameter/field storage (``spec.array`` set, or ``role ==
+      'field'``) — user-owned arrays plus batch fields written by opaque
+      ``pre_forward`` closures that declare no buffer list (e.g. the
+      dropout mask);
+    * both buffers of every :class:`~repro.synthesis.plan.ParamInfo`, so
+      ``parameters()`` / ``clear_param_grads`` stay well-formed;
+    * the full alias chain beneath any surviving buffer.
+
+    Returns counters for the compile report (``buffers_pruned`` and the
+    allocated ``bytes_pruned`` they would have occupied).
+    """
+    referenced: Set[str] = set()
+    for items in (fwd_items, bwd_items):
+        for item in items:
+            for name, _kind in _item_accesses(item):
+                if name in plan.buffers:
+                    referenced.add(name)
+    keep: Set[str] = set(referenced)
+    for name, spec in plan.buffers.items():
+        if spec.array is not None or spec.role == "field":
+            keep.add(name)
+    for p in plan.params:
+        for name in (p.value_buf, p.grad_buf):
+            if name in plan.buffers:
+                keep.add(name)
+    # close over alias chains: every kept alias needs its base allocated
+    for name in list(keep):
+        link = plan.buffers[name].alias_of
+        while link is not None:
+            keep.add(link)
+            link = plan.buffers[link].alias_of
+    pruned_bytes = 0
+    dropped = [n for n in plan.buffers if n not in keep]
+    for name in dropped:
+        spec = plan.buffers[name]
+        if spec.alias_of is None and spec.array is None:
+            pruned_bytes += 4 * buffer_elems(plan, spec)
+        del plan.buffers[name]
+    return {"buffers_pruned": len(dropped), "bytes_pruned": pruned_bytes}
+
+
+# ---------------------------------------------------------------------------
 # Memory-aware backward scheduling
 # ---------------------------------------------------------------------------
 

@@ -99,6 +99,11 @@ def synthesize(net, plan: BufferPlan, options) -> Program:
         fwd.append(f_sec)
         bwd.append(b_sec)
     bwd.reverse()
+    if getattr(options, "mode", "train") == "inference":
+        # forward-only program: backward sections survive as named
+        # placeholders (passes index sections by ensemble) but carry no
+        # units, externs, or comm calls
+        bwd = [Section(sec.ensemble, "backward") for sec in bwd]
     for sec in fwd + bwd:
         for unit in sec.units:
             for sp in unit.loops:

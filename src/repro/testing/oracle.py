@@ -28,6 +28,10 @@ Tolerance policy (see docs/TESTING.md and DESIGN.md §4b):
   guard (:mod:`repro.testing.gradcheck`).
 * **Baselines** — independent implementations with different summation
   orders: the float-reassociation tier again.
+* **Inference compilation** — ``mode="inference"`` drops backward
+  sections and prunes gradient buffers but must never change what the
+  forward computes: its output and loss are compared **bitwise**
+  against the train graph run in eval mode at the same level.
 """
 
 from __future__ import annotations
@@ -153,6 +157,31 @@ def run_spec(spec: NetSpec, level: int = 0, num_threads: int = 1,
         dx=cnet.grad("data").copy(),
         param_grads={p.key: p.grad.copy() for p in cnet.parameters()},
     )
+
+
+def run_eval_forward(spec: NetSpec, level: int,
+                     mode: str = "train") -> Tuple[float, np.ndarray]:
+    """Build + compile ``spec`` and run one eval-mode forward pass.
+
+    ``mode="train"`` compiles the full train graph and flips the
+    executor to ``training=False``; ``mode="inference"`` compiles
+    forward-only (backward dropped, gradient buffers pruned). Both
+    paths reseed from ``spec.seed`` so parameter initialization is
+    identical, and eval-mode dropout draws no RNG — the two must
+    produce bitwise-identical loss and output.
+    """
+    seed_all(spec.seed)
+    net = build_net(spec)
+    if mode == "inference":
+        opts = CompilerOptions.inference(level)
+    else:
+        opts = CompilerOptions.level(level)
+    opts.min_tile_rows = 2
+    cnet = compile_net(net, opts)
+    cnet.training = False
+    x, y = make_inputs(spec)
+    loss = cnet.forward(data=x, label=y)
+    return float(loss), cnet.value("head").copy()
 
 
 def _compare_arrays(check: str, name: str, got: np.ndarray,
@@ -359,6 +388,22 @@ def check_spec(
             check, planned,
             run_spec(spec, level=memplan_level, memory_plan=False),
             report.mismatches)
+
+    # forward-only compilation must be a pure subtraction: dropping the
+    # backward program and pruning gradient buffers cannot perturb the
+    # forward schedule, so inference output == eval-mode train output
+    # down to the bit
+    inf_level = max(levels) if levels else 4
+    check = "inference"
+    report.checks.append(check)
+    train_loss, train_out = run_eval_forward(spec, inf_level, "train")
+    inf_loss, inf_out = run_eval_forward(spec, inf_level, "inference")
+    if inf_loss != train_loss:
+        report.mismatches.append(Mismatch(
+            check, f"eval loss not bitwise: inference {inf_loss!r} != "
+                   f"train graph {train_loss!r}"))
+    _compare_arrays(check, "output", inf_out, train_out, 0, 0,
+                    report.mismatches, bitwise=True)
 
     if threads and spec.batch > 1:
         thread_level = max(levels) if levels else 4

@@ -1,0 +1,263 @@
+"""Checkpoint artifacts (:mod:`repro.serve.checkpoint`) and the
+``solve(checkpoint_every=/resume_from=)`` training-resume path.
+
+The headline guarantee pinned here: the loss trajectory of a training
+run interrupted at a checkpoint and resumed — even into a freshly built
+net with a scrambled RNG — is **bitwise identical** to an uninterrupted
+run, because parameters, solver slots, and the shared library RNG
+stream are all captured and restored in place.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    DropoutSpec,
+    FCSpec,
+    ModelConfig,
+    ReLUSpec,
+    SoftmaxLossSpec,
+    build_latte,
+    mlp_config,
+)
+from repro.optim import CompilerOptions
+from repro.serve.checkpoint import (
+    FORMAT,
+    VERSION,
+    Checkpoint,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.solvers import (
+    SGD,
+    Dataset,
+    LRPolicy,
+    MomPolicy,
+    SolverParameters,
+    solve,
+)
+from repro.utils.rng import get_rng, seed_all
+
+# dropout makes the trajectory RNG-sensitive: a resume that failed to
+# restore the mask stream would diverge immediately
+CONFIG = ModelConfig(
+    "ck_mlp", (12, 1, 1),
+    (FCSpec("ip1", 16), ReLUSpec("relu1"), DropoutSpec("drop", 0.3),
+     FCSpec("ip2", 4), SoftmaxLossSpec()),
+    4,
+)
+BATCH = 4
+
+
+def _dataset(n=24, dim=12, classes=4, seed=3) -> Dataset:
+    rng = np.random.default_rng(seed)
+    return Dataset(rng.standard_normal((n, dim)).astype(np.float32),
+                   rng.integers(0, classes, n))
+
+
+def _fresh(config=CONFIG, batch=BATCH, seed=11, options=None):
+    seed_all(seed)
+    bt = build_latte(config, batch)
+    return bt.init(options or CompilerOptions.level(2)), bt
+
+
+def _solver(lr=0.05, mom=0.9, epochs=4):
+    return SGD(SolverParameters(lr_policy=LRPolicy.Fixed(lr),
+                                mom_policy=MomPolicy.Fixed(mom),
+                                max_epoch=epochs))
+
+
+class TestRoundTrip:
+    def test_params_and_meta(self, tmp_path):
+        cnet, bt = _fresh()
+        path = str(tmp_path / "m.npz")
+        save_checkpoint(path, cnet, config=CONFIG, output=bt.output.name,
+                        epoch=3)
+        ck = load_checkpoint(path)
+        assert ck.version == VERSION
+        assert ck.batch_size == BATCH
+        assert ck.output == bt.output.name
+        assert ck.epoch == 3
+        want = {p.key: p.value.copy() for p in cnet.parameters()}
+        assert set(ck.params) == set(want)
+        for key in want:
+            np.testing.assert_array_equal(ck.params[key], want[key])
+
+    def test_restore_into_fresh_net(self, tmp_path):
+        cnet, _ = _fresh(seed=11)
+        path = save_checkpoint(str(tmp_path / "m.npz"), cnet)
+        other, _ = _fresh(seed=99)  # different init
+        load_checkpoint(path).restore_params(other)
+        for p, q in zip(cnet.parameters(), other.parameters()):
+            np.testing.assert_array_equal(p.value, q.value)
+
+    def test_compile_cold_start_is_inference_and_bitwise(self, tmp_path):
+        cnet, bt = _fresh()
+        path = save_checkpoint(str(tmp_path / "m.npz"), cnet,
+                               config=CONFIG, output=bt.output.name)
+        served = load_checkpoint(path).compile()
+        assert served.mode == "inference"
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((BATCH, 12)).astype(np.float32)
+        y = np.zeros((BATCH, 1), np.float32)
+        cnet.training = False
+        cnet.forward(data=x, label=y)
+        served.forward(data=x, label=y)
+        np.testing.assert_array_equal(served.value(bt.output.name),
+                                      cnet.value(bt.output.name))
+
+    def test_rebuild_at_different_batch(self, tmp_path):
+        cnet, bt = _fresh()
+        path = save_checkpoint(str(tmp_path / "m.npz"), cnet,
+                               config=CONFIG, output=bt.output.name)
+        served = load_checkpoint(path).compile(batch_size=2)
+        assert served.batch_size == 2
+        x = np.zeros((2, 12), np.float32)
+        served.forward(data=x, label=np.zeros((2, 1), np.float32))
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        cnet, _ = _fresh()
+        save_checkpoint(str(tmp_path / "m.npz"), cnet)
+        names = {p.name for p in tmp_path.iterdir()}
+        assert names == {"m.npz"}
+
+
+class TestValidation:
+    def _tampered(self, tmp_path, cnet, **meta_edits):
+        """Write a checkpoint, then rewrite its metadata record."""
+        path = str(tmp_path / "m.npz")
+        save_checkpoint(path, cnet)
+        with np.load(path, allow_pickle=False) as z:
+            arrays = {name: z[name] for name in z.files}
+            meta = json.loads(str(z["__meta__"]))
+        meta.update(meta_edits)
+        arrays["__meta__"] = np.asarray(json.dumps(meta))
+        np.savez(path, **arrays)
+        return path
+
+    def test_newer_version_refused(self, tmp_path):
+        cnet, _ = _fresh()
+        path = self._tampered(tmp_path, cnet, version=VERSION + 1)
+        with pytest.raises(CheckpointError, match="newer"):
+            load_checkpoint(path)
+
+    def test_older_version_accepted(self, tmp_path):
+        cnet, _ = _fresh()
+        # version 0 never shipped, but the policy is "≤ reader loads"
+        path = self._tampered(tmp_path, cnet, version=0)
+        assert load_checkpoint(path).version == 0
+
+    def test_foreign_format_refused(self, tmp_path):
+        cnet, _ = _fresh()
+        path = self._tampered(tmp_path, cnet, format="other-format")
+        with pytest.raises(CheckpointError, match="format"):
+            load_checkpoint(path)
+
+    def test_plain_npz_refused(self, tmp_path):
+        path = str(tmp_path / "notack.npz")
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(CheckpointError, match="missing"):
+            load_checkpoint(path)
+
+    def test_strict_key_mismatch(self, tmp_path):
+        cnet, _ = _fresh()  # params ip1.*, ip2.*
+        path = save_checkpoint(str(tmp_path / "m.npz"), cnet)
+        three, _ = _fresh(mlp_config(hidden=(16, 8, 4), input_dim=12,
+                                     classes=4))
+        with pytest.raises(CheckpointError, match="mismatch"):
+            load_checkpoint(path).restore_params(three)
+
+    def test_shape_mismatch(self, tmp_path):
+        cnet, _ = _fresh()
+        path = save_checkpoint(str(tmp_path / "m.npz"), cnet)
+        wider = ModelConfig(
+            "ck_mlp", (12, 1, 1),
+            (FCSpec("ip1", 24), ReLUSpec("relu1"),
+             DropoutSpec("drop", 0.3), FCSpec("ip2", 4),
+             SoftmaxLossSpec()),
+            4,
+        )
+        other, _ = _fresh(wider)
+        with pytest.raises(CheckpointError, match="shape"):
+            load_checkpoint(path).restore_params(other)
+
+    def test_no_builder_record(self, tmp_path):
+        cnet, _ = _fresh()
+        path = save_checkpoint(str(tmp_path / "m.npz"), cnet)
+        with pytest.raises(CheckpointError, match="builder"):
+            load_checkpoint(path).build()
+
+    def test_missing_optional_state(self, tmp_path):
+        cnet, _ = _fresh()
+        ck = load_checkpoint(save_checkpoint(str(tmp_path / "m.npz"), cnet))
+        with pytest.raises(CheckpointError, match="solver"):
+            ck.restore_solver(_solver())
+        with pytest.raises(CheckpointError, match="RNG"):
+            ck.restore_rng(get_rng())
+
+    def test_config_and_spec_exclusive(self, tmp_path):
+        cnet, _ = _fresh()
+        with pytest.raises(ValueError, match="not both"):
+            save_checkpoint(str(tmp_path / "m.npz"), cnet, config=CONFIG,
+                            spec=object())
+
+
+class TestSolverState:
+    def test_solver_slots_roundtrip(self, tmp_path):
+        cnet, bt = _fresh()
+        solver, data = _solver(), _dataset()
+        solve(solver, cnet, data, output_ens=bt.output.name, epochs=2)
+        path = save_checkpoint(str(tmp_path / "m.npz"), cnet, solver=solver)
+        restored = _solver()
+        load_checkpoint(path).restore_solver(restored)
+        assert restored.iteration == solver.iteration
+        assert set(restored.state) == set(solver.state)
+        for key, slots in solver.state.items():
+            for slot, arr in slots.items():
+                np.testing.assert_array_equal(restored.state[key][slot], arr)
+
+
+class TestResume:
+    def test_checkpoint_every_needs_path(self):
+        cnet, bt = _fresh()
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            solve(_solver(), cnet, _dataset(), epochs=1, checkpoint_every=1)
+
+    def test_interrupted_resume_is_bitwise(self, tmp_path):
+        """The acceptance criterion: 2 epochs + checkpoint + resume in a
+        rebuilt net (scrambled RNG, random params) reproduces the exact
+        loss trajectory of 4 uninterrupted epochs."""
+        data = _dataset()
+        out = "ip2"
+        path = str(tmp_path / "resume.npz")
+
+        cnet, bt = _fresh(seed=77)
+        continuous = solve(_solver(), cnet, data, output_ens=bt.output.name,
+                           epochs=4)
+
+        cnet, bt = _fresh(seed=77)  # same seed → same trajectory start
+        partial = solve(_solver(), cnet, data, output_ens=bt.output.name,
+                        epochs=2, checkpoint_every=2, checkpoint_path=path,
+                        checkpoint_config=CONFIG)
+        assert partial.losses == continuous.losses[:2]
+
+        # fresh process stand-in: new random params, scrambled RNG
+        cnet, bt = _fresh(seed=999_999)
+        resumed = solve(_solver(), cnet, data, output_ens=bt.output.name,
+                        epochs=4, resume_from=path)
+        assert resumed.losses == continuous.losses
+        assert resumed.train_accuracy == continuous.train_accuracy
+
+    def test_periodic_checkpoints_record_epoch(self, tmp_path):
+        data = _dataset()
+        path = str(tmp_path / "tick.npz")
+        cnet, bt = _fresh()
+        solve(_solver(), cnet, data, output_ens=bt.output.name, epochs=3,
+              checkpoint_every=1, checkpoint_path=path,
+              checkpoint_config=CONFIG)
+        ck = load_checkpoint(path)
+        assert ck.epoch == 3
+        assert len(ck.history["losses"]) == 3

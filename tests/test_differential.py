@@ -193,7 +193,8 @@ class TestOracleReporting:
                             gradcheck_indices=2, baselines=False)
         assert report.ok, report.summary()
         names = set(report.checks)
-        assert {"level:1", "level:3", "threads:2", "gradcheck"} <= names
+        assert {"level:1", "level:3", "threads:2", "gradcheck",
+                "inference"} <= names
 
     def test_run_results_are_finite(self):
         from repro.testing import run_spec

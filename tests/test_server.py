@@ -1,0 +1,219 @@
+"""The model server (:mod:`repro.serve.server`): batched execution must
+be bitwise-equal to serial forwards, replicas must share parameter
+storage, overload must shed, and the stdlib HTTP front end must speak
+its three endpoints."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    FCSpec,
+    ModelConfig,
+    ReLUSpec,
+    SoftmaxLossSpec,
+    build_latte,
+)
+from repro.optim import CompilerOptions
+from repro.serve import ModelServer, QueueFullError, make_http_server
+from repro.utils.rng import seed_all
+
+CONFIG = ModelConfig(
+    "srv_mlp", (6, 1, 1),
+    (FCSpec("ip1", 8), ReLUSpec("relu1"), FCSpec("ip2", 3),
+     SoftmaxLossSpec()),
+    3,
+)
+BATCH = 4
+OUT = "ip2"
+
+
+def _replicas(n, batch=BATCH, seed=42):
+    """n forward-only replicas with identical parameters."""
+    nets = []
+    for _ in range(n):
+        seed_all(seed)
+        nets.append(build_latte(CONFIG, batch).init(
+            CompilerOptions.inference()))
+    return nets
+
+
+def _items(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, 6)).astype(np.float32)
+
+
+def _serial_reference(items):
+    """Eval-mode forward of the same net, one full batch at a time."""
+    seed_all(42)
+    cnet = build_latte(CONFIG, BATCH).init(CompilerOptions.inference())
+    outs = []
+    for start in range(0, len(items), BATCH):
+        chunk = items[start:start + BATCH]
+        x = np.zeros((BATCH, 6), np.float32)
+        x[:len(chunk)] = chunk
+        cnet.forward(data=x, label=np.zeros((BATCH, 1), np.float32))
+        outs.append(cnet.value(OUT)[:len(chunk)].copy())
+    cnet.close()
+    return np.concatenate(outs)
+
+
+class TestBatchedExecution:
+    def test_batched_equals_serial_bitwise(self):
+        items = _items(13)
+        want = _serial_reference(items)
+        with ModelServer(_replicas(1), OUT, max_latency=0.002) as srv:
+            handles = [srv.submit(item) for item in items]
+            got = np.stack([h.wait(30.0) for h in handles])
+        np.testing.assert_array_equal(got, want)
+
+    def test_concurrent_submitters_bitwise(self):
+        items = _items(24, seed=7)
+        want = _serial_reference(items)
+        results = [None] * len(items)
+        with ModelServer(_replicas(2), OUT, max_latency=0.002) as srv:
+            def client(i):
+                results[i] = srv.predict(items[i])
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(len(items))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = srv.stats()
+        np.testing.assert_array_equal(np.stack(results), want)
+        assert stats["served"] == len(items)
+        assert stats["batches"] >= len(items) // BATCH
+        assert 0 < stats["mean_batch_fill"] <= 1.0
+        assert stats["latency_ms"]["p50"] <= stats["latency_ms"]["p99"]
+
+    def test_item_shape_validated(self):
+        with ModelServer(_replicas(1), OUT) as srv:
+            with pytest.raises(ValueError, match="shape"):
+                srv.submit(np.zeros(5, np.float32))
+
+    def test_worker_error_propagates_to_waiter(self):
+        with ModelServer(_replicas(1), "no_such_ensemble",
+                         max_latency=0.002) as srv:
+            with pytest.raises(KeyError):
+                srv.predict(_items(1)[0], timeout=10.0)
+
+
+class TestReplicaPool:
+    def test_replicas_share_parameter_storage(self):
+        replicas = _replicas(2)
+        with ModelServer(replicas, OUT) as srv:
+            primary, secondary = srv.replicas
+            for info in primary.plan.params:
+                assert secondary.buffers[info.value_buf] is \
+                    primary.buffers[info.value_buf]
+
+    def test_rebound_params_change_replica_output(self):
+        """Mutating the primary's weights must be visible through every
+        replica — the single-parameter-set property."""
+        items = _items(1)
+        replicas = _replicas(2)
+        srv = ModelServer(replicas, OUT, max_latency=0.002)
+        try:
+            before = srv.predict(items[0]).copy()
+            for p in srv.replicas[0].parameters():
+                p.value[...] = 0.0
+            after = srv.predict(items[0])
+            # zeroed weights: logits collapse to the bias-only row
+            assert not np.array_equal(after, before)
+        finally:
+            srv.close()
+
+    def test_mismatched_batch_sizes_rejected(self):
+        a = _replicas(1, batch=4)
+        b = _replicas(1, batch=2)
+        with pytest.raises(ValueError, match="batch"):
+            ModelServer(a + b, OUT)
+        for r in a + b:
+            r.close()
+
+    def test_needs_at_least_one_replica(self):
+        with pytest.raises(ValueError, match="replica"):
+            ModelServer([], OUT)
+
+
+class TestAdmission:
+    def test_overload_sheds_and_counts(self):
+        # batch never fills and latency never expires, so the queue
+        # holds its one slot until close() drains it
+        with ModelServer(_replicas(1), OUT, max_latency=60.0,
+                         max_queue=1) as srv:
+            first = srv.submit(_items(1)[0])
+            with pytest.raises(QueueFullError):
+                srv.submit(_items(1)[0])
+            assert srv.stats()["shed"] == 1
+            srv.close()  # drains: the queued request still completes
+            assert first.wait(10.0) is not None
+
+    def test_close_is_idempotent(self):
+        srv = ModelServer(_replicas(1), OUT)
+        srv.close()
+        srv.close()
+
+
+class TestHTTP:
+    @pytest.fixture()
+    def endpoint(self):
+        srv = ModelServer(_replicas(1), OUT, max_latency=0.002)
+        httpd = make_http_server(srv, "127.0.0.1", 0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        host, port = httpd.server_address[:2]
+        yield f"http://{host}:{port}"
+        httpd.shutdown()
+        httpd.server_close()
+        srv.close()
+
+    def _get(self, url):
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+
+    def _post(self, url, body):
+        req = urllib.request.Request(
+            url, data=body, headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+
+    def test_healthz(self, endpoint):
+        status, payload = self._get(endpoint + "/healthz")
+        assert (status, payload) == (200, {"ok": True})
+
+    def test_predict_matches_local(self, endpoint):
+        items = _items(3, seed=9)
+        want = _serial_reference(items)
+        status, payload = self._post(
+            endpoint + "/predict",
+            json.dumps({"inputs": items.tolist()}).encode())
+        assert status == 200
+        got = np.asarray(payload["outputs"], np.float32)
+        np.testing.assert_allclose(got, want, rtol=1e-6, atol=1e-7)
+        assert payload["latency_ms"] >= 0
+
+    def test_stats_endpoint(self, endpoint):
+        items = _items(2)
+        self._post(endpoint + "/predict",
+                   json.dumps({"inputs": items.tolist()}).encode())
+        status, payload = self._get(endpoint + "/stats")
+        assert status == 200
+        assert payload["served"] == 2
+        assert "latency_ms" in payload
+
+    def test_bad_body_is_400(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            self._post(endpoint + "/predict", b"not json")
+        assert exc.value.code == 400
+
+    def test_unknown_route_is_404(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            self._get(endpoint + "/nope")
+        assert exc.value.code == 404
