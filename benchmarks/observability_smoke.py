@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Telemetry overhead smoke: measure the same forward with telemetry
+disabled, sparsely watched, fully watched, and fully traced.
+
+This is part of the ``serving-smoke`` CI job, runnable locally::
+
+    PYTHONPATH=src python benchmarks/observability_smoke.py
+
+The contract under test (docs/OBSERVABILITY.md): the *disabled* path —
+no tracer, no watchdog — is the identical executor fast loop a bare
+build runs, so its overhead target is <=5%. CI gates at a looser 25%
+to absorb shared-runner noise; the measured ratio is recorded in
+``benchmarks/results/BENCH_observability.json`` alongside the
+(unbounded, informational) watchdog and tracer ratios.
+"""
+
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+from harness import median_time, record_observability  # noqa: E402
+
+from repro.models import build_latte, mlp_config  # noqa: E402
+from repro.optim import CompilerOptions  # noqa: E402
+from repro.telemetry import NumericsWatchdog  # noqa: E402
+from repro.trace import RecordingTracer  # noqa: E402
+from repro.utils.rng import seed_all  # noqa: E402
+
+BATCH = 32
+REPEATS = 30
+CI_GATE = 1.25  # noise-tolerant CI bound on the disabled-path ratio
+TARGET = 1.05  # the documented overhead target
+
+
+def _net(**init_kwargs):
+    seed_all(3)
+    built = build_latte(mlp_config(), BATCH)
+    cnet = built.init(CompilerOptions.level(4), **init_kwargs)
+    cnet.training = False
+    return cnet
+
+
+def _median_forward(cnet, x, y):
+    def run():
+        cnet.forward(data=x, label=y)
+
+    return median_time(run, repeats=REPEATS, warmup=3)
+
+
+def main() -> int:
+    rng = np.random.default_rng(0)
+    n_features = int(np.prod(mlp_config().input_shape))
+    x = rng.standard_normal((BATCH, n_features)).astype(np.float32)
+    y = rng.integers(0, mlp_config().classes, (BATCH, 1)).astype(np.float32)
+
+    # two independent builds of the identical disabled path: their
+    # ratio isolates measurement noise from real overhead
+    baseline = _net()
+    t_baseline = _median_forward(baseline, x, y)
+    baseline.close()
+
+    disabled = _net()  # no tracer, no watchdog: the fast loop
+    t_disabled = _median_forward(disabled, x, y)
+    disabled.close()
+
+    sparse = _net(watchdog=NumericsWatchdog(every=1000))
+    t_sparse = _median_forward(sparse, x, y)
+    sparse.close()
+
+    every_step = _net(watchdog=NumericsWatchdog(every=1))
+    t_watchdog = _median_forward(every_step, x, y)
+    every_step.close()
+
+    tracer = RecordingTracer()
+    traced = _net(tracer=tracer)
+    t_traced = _median_forward(traced, x, y)
+    traced.close()
+
+    ratio_disabled = t_disabled / t_baseline
+    rows = [
+        ("baseline (bare build)", t_baseline, 1.0),
+        ("telemetry disabled", t_disabled, ratio_disabled),
+        ("watchdog every=1000", t_sparse, t_sparse / t_baseline),
+        ("watchdog every=1", t_watchdog, t_watchdog / t_baseline),
+        ("traced (RecordingTracer)", t_traced, t_traced / t_baseline),
+    ]
+    for name, t, ratio in rows:
+        print(f"{name:28s} {t * 1e3:8.3f} ms   x{ratio:.3f}")
+
+    record_observability({
+        "batch": BATCH,
+        "repeats": REPEATS,
+        "median_seconds": {
+            "baseline": t_baseline,
+            "disabled": t_disabled,
+            "watchdog_every_1000": t_sparse,
+            "watchdog_every_1": t_watchdog,
+            "traced": t_traced,
+        },
+        "ratio_vs_baseline": {
+            "disabled": round(ratio_disabled, 4),
+            "watchdog_every_1000": round(t_sparse / t_baseline, 4),
+            "watchdog_every_1": round(t_watchdog / t_baseline, 4),
+            "traced": round(t_traced / t_baseline, 4),
+        },
+        "disabled_path_target": TARGET,
+        "ci_gate": CI_GATE,
+    })
+    print("wrote benchmarks/results/BENCH_observability.json")
+
+    assert ratio_disabled <= CI_GATE, (
+        f"disabled-telemetry forward is x{ratio_disabled:.3f} the "
+        f"baseline (CI gate x{CI_GATE}); the disabled path must stay "
+        f"the bare fast loop"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,10 @@ from repro.data import synthetic_mnist  # noqa: E402
 from repro.models import build_latte, mlp_config  # noqa: E402
 from repro.optim import CompilerOptions  # noqa: E402
 from repro.serve import save_checkpoint  # noqa: E402
+from repro.telemetry import (  # noqa: E402
+    parse_prometheus_text,
+    sample_value,
+)
 from repro.solvers import (  # noqa: E402
     SGD,
     LRPolicy,
@@ -100,9 +104,15 @@ def main() -> int:
             body = json.dumps({"inputs": [items[i].tolist()]}).encode()
             req = urllib.request.Request(
                 base + "/predict", data=body,
-                headers={"Content-Type": "application/json"})
+                headers={"Content-Type": "application/json",
+                         "X-Request-ID": f"smoke-{i}"})
             with urllib.request.urlopen(req, timeout=30) as resp:
-                results[i] = json.load(resp)["outputs"][0]
+                payload = json.load(resp)
+                assert resp.headers["X-Request-ID"] == f"smoke-{i}"
+                assert payload["request_id"] == f"smoke-{i}", (
+                    "client-supplied request ID must round-trip"
+                )
+                results[i] = payload["outputs"][0]
 
         t0 = time.monotonic()
         threads = [threading.Thread(target=client, args=(i,))
@@ -130,6 +140,37 @@ def main() -> int:
             "forward-only compilation should plan a smaller arena"
         )
 
+        # scrape /metrics: the page must parse as Prometheus text and
+        # its counters must agree with the client-side request count
+        with urllib.request.urlopen(base + "/metrics", timeout=10) as r:
+            assert r.headers["Content-Type"].startswith("text/plain")
+            metrics_text = r.read().decode()
+        families = parse_prometheus_text(metrics_text)  # raises if bad
+        served = sample_value(families, "serve_requests_total",
+                              outcome="served")
+        assert served == N_REQUESTS == stats["served"], (
+            f"/metrics served={served} disagrees with client count "
+            f"{N_REQUESTS} / stats {stats['served']}"
+        )
+        assert sample_value(families, "serve_requests_total",
+                            outcome="shed") == 0
+        assert sample_value(
+            families, "serve_request_latency_seconds_count"
+        ) == N_REQUESTS
+        assert sample_value(families, "serve_replicas") == 2
+        print(f"/metrics: {len(families)} families parsed; "
+              f"served counter agrees with {N_REQUESTS} clients")
+
+        metrics_snapshot = {
+            name: {
+                "type": fam["type"],
+                "samples": {
+                    sname + json.dumps(labels, sort_keys=True): value
+                    for sname, labels, value in fam["samples"]
+                },
+            }
+            for name, fam in families.items()
+        }
         record_serving({
             "requests": N_REQUESTS,
             "batch_size": BATCH,
@@ -142,7 +183,7 @@ def main() -> int:
             "train_planned_bytes": int(train_planned),
             "inference_planned_bytes": int(stats["planned_bytes"]),
             "bitwise_equal": True,
-        })
+        }, registry_snapshot=metrics_snapshot)
         print("wrote benchmarks/results/BENCH_serving.json")
     finally:
         proc.terminate()

@@ -114,7 +114,7 @@ class Net:
     # -- compilation -----------------------------------------------------
 
     def init(self, options: Optional[object] = None, tracer=None,
-             num_threads=None, keep_alive=None):
+             num_threads=None, keep_alive=None, watchdog=None):
         """Compile the network and allocate buffers (the paper's ``init``).
 
         Returns a :class:`~repro.runtime.executor.CompiledNet`. ``options``
@@ -124,13 +124,15 @@ class Net:
         ``num_threads`` enables batch-sharded thread-parallel execution
         of parallel-annotated steps (default: the ``REPRO_NUM_THREADS``
         environment variable, else serial). ``keep_alive`` restricts
-        which ensembles stay inspectable under the memory planner (see
+        which ensembles stay inspectable under the memory planner, and
+        ``watchdog`` attaches a numerics watchdog to the executor (see
         :func:`repro.optim.pipeline.compile_net`).
         """
         from repro.optim.pipeline import compile_net
 
         return compile_net(self, options, tracer=tracer,
-                           num_threads=num_threads, keep_alive=keep_alive)
+                           num_threads=num_threads, keep_alive=keep_alive,
+                           watchdog=watchdog)
 
 
 def add_connections(net: Net, source, sink, mapping, recurrent: bool = False):
@@ -140,7 +142,7 @@ def add_connections(net: Net, source, sink, mapping, recurrent: bool = False):
 
 
 def init(net: Net, options=None, tracer=None, num_threads=None,
-         keep_alive=None):
+         keep_alive=None, watchdog=None):
     """Module-level spelling of :meth:`Net.init`."""
     return net.init(options, tracer=tracer, num_threads=num_threads,
-                    keep_alive=keep_alive)
+                    keep_alive=keep_alive, watchdog=watchdog)

@@ -43,11 +43,11 @@ class BuiltModel:
     loss: Optional[object]
 
     def init(self, options=None, tracer=None, num_threads=None,
-             keep_alive=None):
+             keep_alive=None, watchdog=None):
         """Compile the network (the paper's ``init``)."""
         return self.net.init(options, tracer=tracer,
                              num_threads=num_threads,
-                             keep_alive=keep_alive)
+                             keep_alive=keep_alive, watchdog=watchdog)
 
 
 def build_latte(config: ModelConfig, batch_size: int,

@@ -63,6 +63,15 @@ class CompilerOptions:
     min_tile_rows: int = 32
     #: emit the C++/OpenMP rendering alongside the executable program
     emit_c: bool = True
+    #: numerics watchdog sampling stride: 0 (default) disables it
+    #: entirely (the executor hot paths are untouched); N >= 1 attaches
+    #: a :class:`repro.telemetry.NumericsWatchdog` checking every Nth
+    #: executed task step's written buffers for NaN/Inf and raising a
+    #: structured :class:`repro.telemetry.NumericsError` naming the
+    #: offending step and buffer. ``True`` is accepted as 1. Pass a
+    #: configured watchdog via ``compile_net(..., watchdog=)`` /
+    #: ``Net.init(watchdog=)`` instead for record-don't-raise modes.
+    check_numerics: int = 0
     #: ``'train'`` compiles the full forward+backward program;
     #: ``'inference'`` synthesizes a forward-only program — backward
     #: sections are empty, gradient/staging buffers are pruned from the
@@ -77,6 +86,9 @@ class CompilerOptions:
             raise ValueError(
                 f"mode must be 'train' or 'inference', got {self.mode!r}"
             )
+        self.check_numerics = int(self.check_numerics)
+        if self.check_numerics < 0:
+            raise ValueError("check_numerics must be >= 0")
 
     @classmethod
     def level(cls, n: int) -> "CompilerOptions":
@@ -122,7 +134,7 @@ def resolve_num_threads(num_threads=None) -> int:
 
 
 def compile_net(net, options: CompilerOptions | None = None, tracer=None,
-                num_threads=None, keep_alive=None):
+                num_threads=None, keep_alive=None, watchdog=None):
     """Compile a :class:`~repro.core.network.Net` into a
     :class:`~repro.runtime.executor.CompiledNet`.
 
@@ -161,6 +173,12 @@ def compile_net(net, options: CompilerOptions | None = None, tracer=None,
         wants throughput, not inspection — and ``None`` must be
         spelled ``keep_alive=list(net.ensembles)`` to keep everything.
         See docs/ARCHITECTURE.md §Buffers and docs/SERVING.md.
+    watchdog:
+        A :class:`repro.telemetry.NumericsWatchdog` attached to the
+        executor (checked after every task step). Defaults to ``None``
+        — or, when ``options.check_numerics`` is N >= 1, a fresh
+        raising watchdog sampling every Nth step. See
+        docs/OBSERVABILITY.md.
     """
     from repro.runtime.executor import CompiledNet
 
@@ -168,6 +186,10 @@ def compile_net(net, options: CompilerOptions | None = None, tracer=None,
     inference = options.mode == "inference"
     if inference and keep_alive is None:
         keep_alive = ()
+    if watchdog is None and options.check_numerics:
+        from repro.telemetry.watchdog import NumericsWatchdog
+
+        watchdog = NumericsWatchdog(every=options.check_numerics)
     tracer = tracer if tracer is not None else NULL_TRACER
     num_threads = resolve_num_threads(num_threads)
     report = CompileReport()
@@ -335,4 +357,5 @@ def compile_net(net, options: CompilerOptions | None = None, tracer=None,
                 fwd_items, "forward"
             ) + c_backend.render_items(bwd_items, "backward")
     return CompiledNet(net, plan, compiled, options, tracer=tracer,
-                       compile_report=report, num_threads=num_threads)
+                       compile_report=report, num_threads=num_threads,
+                       watchdog=watchdog)

@@ -79,7 +79,7 @@ class CompiledNet:
     """
 
     def __init__(self, net, plan, compiled, options, tracer=None,
-                 compile_report=None, num_threads=1):
+                 compile_report=None, num_threads=1, watchdog=None):
         self.net = net
         self.plan = plan
         self.compiled = compiled
@@ -89,6 +89,14 @@ class CompiledNet:
         #: untouched) and the per-pass compilation record
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.compile_report = compile_report
+        #: numerics watchdog (repro.telemetry.watchdog): called after
+        #: every executed task step to sample written buffers for
+        #: NaN/Inf. None (default) keeps the untouched fast paths.
+        self.watchdog = watchdog
+        #: extra args merged into every runtime span while set — the
+        #: server stashes {'request_ids': ...} here so one request can
+        #: be followed from HTTP admission into executor step spans
+        self.trace_context: Optional[Dict] = None
         self.buffers = allocate(plan)
         self.batch_size = net.batch_size
         self.time_steps = net.time_steps
@@ -469,7 +477,7 @@ class CompiledNet:
         if self.num_shards > 1:
             self._run_parallel("forward")
             return self.loss
-        if self.tracer.enabled:
+        if self.tracer.enabled or self.watchdog is not None:
             self._run_traced("forward")
             return self.loss
         for fn, env in self._fast["forward"]:
@@ -497,7 +505,7 @@ class CompiledNet:
         if self.num_shards > 1:
             self._run_parallel("backward")
             return
-        if self.tracer.enabled:
+        if self.tracer.enabled or self.watchdog is not None:
             self._run_traced("backward")
             return
         for fn, env in self._fast["backward"]:
@@ -505,16 +513,24 @@ class CompiledNet:
 
     def _run_traced(self, phase: str) -> None:
         """One phase emitting a span per task step (and per fired comm
-        hook); aux entries run silently."""
+        hook); aux entries run silently. Also the watchdog path: with a
+        NullTracer but a watchdog attached, begin/end are no-ops and
+        only the per-step numerics check runs — same fns, same order,
+        bitwise-identical outputs."""
         tracer = self.tracer
+        watchdog = self.watchdog
+        ctx = self.trace_context
         for kind, fn, env, step, t in self._entries[phase]:
             if kind == _TASK:
                 token = tracer.begin(
                     step.label, phase, t=t, kind=step.kind,
                     bytes=self.step_bytes(step), flops=step.flops,
+                    **(ctx or {}),
                 )
                 fn(env, self)
                 tracer.end(token)
+                if watchdog is not None:
+                    watchdog.after_step(self, step, phase, t, env)
             elif kind == _COMM:
                 if self.comm_hook is not None:
                     token = tracer.begin(
@@ -532,9 +548,12 @@ class CompiledNet:
     def _run_parallel(self, phase: str) -> None:
         """One phase with shardable steps split across the pool."""
         tracer = self.tracer
+        watchdog = self.watchdog
         for kind, fn, env, step, t in self._entries[phase]:
             if kind == _TASK:
                 self._run_step_threaded(step, t, phase, env)
+                if watchdog is not None:
+                    watchdog.after_step(self, step, phase, t, env)
             elif kind == _COMM:
                 if self.comm_hook is not None:
                     grads = [self.buffers[g] for g in step.comm.params]
@@ -552,11 +571,13 @@ class CompiledNet:
     def _run_step_threaded(self, step, t: int, cat: str, views) -> None:
         """Run one task step: sharded if marked, serial otherwise."""
         tracer = self.tracer
+        ctx = self.trace_context or {}
         if not step.shardable:
             if tracer.enabled:
                 with tracer.span(
                     step.label, cat, t=t, kind=step.kind,
                     bytes=self.step_bytes(step), flops=step.flops,
+                    **ctx,
                 ):
                     step.fn(views, self)
             else:
@@ -610,7 +631,7 @@ class CompiledNet:
                 tracer.add_span(
                     step.label, cat, start, dur, t=t, kind=step.kind,
                     bytes=per_shard_bytes, flops=per_shard_flops,
-                    shard=w, shards=n,
+                    shard=w, shards=n, **ctx,
                 )
 
     def close(self) -> None:

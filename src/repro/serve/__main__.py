@@ -9,8 +9,13 @@ then::
 
     curl -s localhost:8080/healthz
     curl -s -X POST localhost:8080/predict \\
+        -H 'X-Request-ID: my-trace-1' \\
         -d '{"inputs": [[...one item...]]}'
     curl -s localhost:8080/stats
+    curl -s localhost:8080/metrics
+
+Structured JSON request/batch logs go to stderr (one object per
+line); the human-readable announce line stays on stdout.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ import argparse
 import sys
 
 from repro.serve.server import ModelServer, make_http_server
+from repro.telemetry.logging import configure_json_logging
 
 
 def main(argv=None) -> int:
@@ -38,7 +44,7 @@ def main(argv=None) -> int:
     ap.add_argument("--max-latency-ms", type=float, default=5.0,
                     help="oldest-request age that forces a ragged flush")
     ap.add_argument("--max-queue", type=int, default=64,
-                    help="admission bound; beyond it requests get 503")
+                    help="admission bound; beyond it requests get 429")
     ap.add_argument("--output", default=None,
                     help="output ensemble (default: recorded in the "
                     "checkpoint)")
@@ -46,6 +52,7 @@ def main(argv=None) -> int:
                     help="executor threads per replica")
     args = ap.parse_args(argv)
 
+    configure_json_logging()
     server = ModelServer.from_checkpoint(
         args.checkpoint,
         batch_size=args.batch_size,
@@ -59,7 +66,8 @@ def main(argv=None) -> int:
     host, port = httpd.server_address[:2]
     print(f"serving {args.checkpoint} on http://{host}:{port} "
           f"(batch={server.batch_size}, replicas={len(server.replicas)}) "
-          f"— POST /predict, GET /healthz, GET /stats", flush=True)
+          f"— POST /predict, GET /healthz, GET /stats, GET /metrics",
+          flush=True)
     try:
         httpd.serve_forever()
     except KeyboardInterrupt:

@@ -11,8 +11,8 @@ flushed to a worker when either trigger fires:
 
 Admission is bounded: past ``max_queue`` waiting requests,
 :meth:`DynamicBatcher.submit` raises :class:`QueueFullError` so callers
-can shed load (the HTTP front end answers 503) instead of growing an
-unbounded backlog. Shutdown is draining: new submissions are refused,
+can shed load (the HTTP front end answers 429 with the queue depth and
+request ID) instead of growing an unbounded backlog. Shutdown is draining: new submissions are refused,
 but queued requests are still handed to workers; :meth:`next_batch`
 returns ``None`` only once the queue is empty.
 """
@@ -30,7 +30,18 @@ import numpy as np
 
 class QueueFullError(RuntimeError):
     """Raised by :meth:`DynamicBatcher.submit` when admission control
-    rejects a request (queue at capacity — shed load upstream)."""
+    rejects a request (queue at capacity — shed load upstream).
+
+    Carries the shed context the HTTP front end surfaces in its 429
+    body: :attr:`depth` (waiting requests at rejection time) and
+    :attr:`reason` (currently always ``'queue_full'``).
+    """
+
+    def __init__(self, message: str = "queue at capacity",
+                 depth: int = 0, reason: str = "queue_full"):
+        super().__init__(message)
+        self.depth = int(depth)
+        self.reason = reason
 
 
 class BatcherClosedError(RuntimeError):
@@ -43,6 +54,9 @@ class Request:
 
     item: np.ndarray
     enqueued_at: float
+    #: propagated trace identity: client-supplied or server-generated,
+    #: carried through batching into worker spans, logs, and responses
+    request_id: str = ""
     done: threading.Event = field(default_factory=threading.Event)
     result: Optional[np.ndarray] = None
     error: Optional[BaseException] = None
@@ -83,19 +97,21 @@ class DynamicBatcher:
 
     # -- submitter side -----------------------------------------------------
 
-    def submit(self, item: np.ndarray) -> Request:
+    def submit(self, item: np.ndarray, request_id: str = "") -> Request:
         """Enqueue one item; returns its :class:`Request` handle.
 
-        Raises :class:`QueueFullError` at capacity and
+        Raises :class:`QueueFullError` at capacity (the error carries
+        the queue depth for the shed response) and
         :class:`BatcherClosedError` after :meth:`shutdown`.
         """
-        req = Request(item, time.monotonic())
+        req = Request(item, time.monotonic(), request_id=request_id)
         with self._cond:
             if self._closed:
                 raise BatcherClosedError("batcher is shut down")
             if len(self._queue) >= self.max_queue:
                 raise QueueFullError(
-                    f"queue at capacity ({self.max_queue} waiting)"
+                    f"queue at capacity ({self.max_queue} waiting)",
+                    depth=len(self._queue),
                 )
             self._queue.append(req)
             self._cond.notify_all()

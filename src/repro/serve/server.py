@@ -10,16 +10,29 @@ parameter storage through ``CompiledNet.rebind_buffer`` — one set of
 weight arrays serves every worker, so N replicas cost N× activation
 memory but 1× parameter memory.
 
-Observability goes through the PR-1 tracer: a ``serve``-category span
-per executed batch plus ``serve.latency_ms`` / ``serve.queue_depth`` /
-``serve.batch_fill`` metric events; :meth:`ModelServer.stats` reduces
-the same measurements to served/shed counters and p50/p95/p99 request
-latency with no tracer attached.
+Observability is three-layered (docs/OBSERVABILITY.md):
+
+* **metrics** — every server owns a
+  :class:`~repro.telemetry.metrics.MetricsRegistry`: request counters
+  by outcome, fixed-bucket latency and batch-fill histograms,
+  per-replica step latency, live queue depth, planned/arena bytes, and
+  checkpoint age. ``GET /metrics`` renders it in Prometheus text
+  format, and :meth:`ModelServer.stats` reads the *same* registry (no
+  private sample lists — the old unbounded latency window is gone by
+  construction).
+* **request IDs** — every submitted item carries a ``request_id``
+  (client-supplied ``X-Request-ID`` header or generated), propagated
+  through batcher admission into the worker's ``serve``-category span,
+  the executor's step spans (via ``CompiledNet.trace_context``), the
+  structured log lines, and the response.
+* **structured logs** — one JSON line per completed request and per
+  batch flush on the ``repro.serve`` logger (silent until a handler is
+  attached; ``python -m repro.serve`` configures one).
 
 ``make_http_server`` wraps a :class:`ModelServer` in a stdlib
-``ThreadingHTTPServer`` with ``POST /predict``, ``GET /healthz`` and
-``GET /stats`` endpoints; ``python -m repro.serve`` is the CLI (see
-:mod:`repro.serve.__main__`).
+``ThreadingHTTPServer`` with ``POST /predict``, ``GET /healthz``,
+``GET /stats`` and ``GET /metrics`` endpoints; ``python -m
+repro.serve`` is the CLI (see :mod:`repro.serve.__main__`).
 """
 
 from __future__ import annotations
@@ -38,10 +51,9 @@ from repro.serve.batcher import (
     QueueFullError,
     Request,
 )
+from repro.telemetry.logging import get_logger, log_event, new_request_id
+from repro.telemetry.metrics import FILL_BUCKETS, MetricsRegistry
 from repro.trace import NULL_TRACER
-
-#: how many recent request latencies the percentile window keeps
-_LATENCY_WINDOW = 10_000
 
 
 class ModelServer:
@@ -67,13 +79,29 @@ class ModelServer:
         (loss-bearing training graphs still expect a label input at
         forward time; ``None`` if the net has no label ensemble —
         detected automatically by default).
+    registry:
+        The :class:`~repro.telemetry.metrics.MetricsRegistry` all
+        serving metrics land in (a fresh one by default; pass
+        :data:`~repro.telemetry.metrics.NULL_REGISTRY` to disable, or a
+        shared registry to co-locate with other subsystems' metrics).
+    logger:
+        Structured-log target (default: the ``repro.serve`` stdlib
+        logger — silent until a handler is attached; see
+        :func:`repro.telemetry.logging.configure_json_logging`).
+    checkpoint_path / checkpoint_mtime:
+        Provenance of the served parameters; when the mtime is known, a
+        ``serve_checkpoint_age_seconds`` gauge reports artifact age at
+        scrape time (set automatically by :meth:`from_checkpoint`).
     """
 
     def __init__(self, replicas: Sequence, output: str, *,
                  max_latency: float = 0.005, max_queue: int = 64,
                  data_name: str = "data",
                  label_name: Optional[str] = "auto",
-                 share_params: bool = True, tracer=None):
+                 share_params: bool = True, tracer=None,
+                 registry=None, logger=None,
+                 checkpoint_path: Optional[str] = None,
+                 checkpoint_mtime: Optional[float] = None):
         if not replicas:
             raise ValueError("need at least one replica")
         batches = {r.batch_size for r in replicas}
@@ -88,6 +116,9 @@ class ModelServer:
                           in self.replicas[0]._data_names else None)
         self.label_name = label_name
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.logger = logger if logger is not None else get_logger()
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_mtime = checkpoint_mtime
         self.item_shape = tuple(
             self.replicas[0].value(data_name).shape[1:]
         )
@@ -100,12 +131,8 @@ class ModelServer:
                     )
         self.batcher = DynamicBatcher(self.batch_size, max_latency,
                                       max_queue)
-        self._lock = threading.Lock()
-        self._served = 0
-        self._shed = 0
-        self._batches = 0
-        self._rows = 0
-        self._latencies: List[float] = []
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._init_metrics()
         self._workers = [
             threading.Thread(target=self._worker_loop, args=(i,),
                              name=f"serve-worker-{i}", daemon=True)
@@ -115,11 +142,61 @@ class ModelServer:
         for w in self._workers:
             w.start()
 
+    def _init_metrics(self) -> None:
+        """Register the serving metric families (idempotent per
+        registry, so several servers may share one)."""
+        r = self.registry
+        self._m_requests = r.counter(
+            "serve_requests_total",
+            "Prediction requests by outcome (served|shed|error)",
+            labels=("outcome",),
+        )
+        # pre-touch the outcomes so a scrape before traffic shows zeros
+        for outcome in ("served", "shed", "error"):
+            self._m_requests.inc(0, outcome=outcome)
+        self._m_latency = r.histogram(
+            "serve_request_latency_seconds",
+            "End-to-end request latency, submit to completion",
+        )
+        self._m_batches = r.counter(
+            "serve_batches_total", "Micro-batches executed, per replica",
+            labels=("replica",),
+        )
+        self._m_step_latency = r.histogram(
+            "serve_replica_step_seconds",
+            "Per-replica forward step latency (one micro-batch)",
+            labels=("replica",),
+        )
+        self._m_fill = r.histogram(
+            "serve_batch_fill",
+            "Fraction of batch slots holding real requests",
+            buckets=FILL_BUCKETS,
+        )
+        r.gauge("serve_queue_depth",
+                "Requests waiting for batch assembly",
+                fn=self.batcher.depth)
+        r.gauge("serve_replicas", "Replica workers").set(len(self.replicas))
+        r.gauge("serve_batch_size", "Compiled batch size").set(
+            self.batch_size)
+        mstats = self.replicas[0].memory_stats()
+        r.gauge("serve_planned_bytes",
+                "Per-replica planned (post-reuse) buffer bytes").set(
+            mstats["planned_bytes"])
+        r.gauge("serve_arena_bytes",
+                "Per-replica shared arena bytes").set(mstats["arena_bytes"])
+        if self.checkpoint_mtime is not None:
+            mtime = float(self.checkpoint_mtime)
+            r.gauge("serve_checkpoint_age_seconds",
+                    "Age of the served checkpoint artifact",
+                    fn=lambda: max(0.0, time.time() - mtime))
+
     # -- client API ---------------------------------------------------------
 
-    def submit(self, item: np.ndarray) -> Request:
+    def submit(self, item: np.ndarray,
+               request_id: Optional[str] = None) -> Request:
         """Enqueue one item (no batch axis); returns a waitable
-        :class:`~repro.serve.batcher.Request`. Sheds with
+        :class:`~repro.serve.batcher.Request` carrying ``request_id``
+        (generated if not supplied). Sheds with
         :class:`~repro.serve.batcher.QueueFullError` when the queue is
         at capacity."""
         item = np.asarray(item, dtype=np.float32)
@@ -127,19 +204,22 @@ class ModelServer:
             raise ValueError(
                 f"item shape {item.shape} != expected {self.item_shape}"
             )
+        rid = request_id or new_request_id()
         try:
-            req = self.batcher.submit(item)
-        except QueueFullError:
-            with self._lock:
-                self._shed += 1
+            req = self.batcher.submit(item, request_id=rid)
+        except QueueFullError as exc:
+            self._m_requests.inc(outcome="shed")
+            log_event(self.logger, "shed", request_id=rid,
+                      reason=exc.reason, queue_depth=exc.depth)
             raise
         self.tracer.metric("serve.queue_depth", self.batcher.depth())
         return req
 
     def predict(self, item: np.ndarray,
-                timeout: Optional[float] = 30.0) -> np.ndarray:
+                timeout: Optional[float] = 30.0,
+                request_id: Optional[str] = None) -> np.ndarray:
         """Blocking single-item convenience: submit + wait."""
-        return self.submit(item).wait(timeout)
+        return self.submit(item, request_id=request_id).wait(timeout)
 
     # -- worker side --------------------------------------------------------
 
@@ -154,6 +234,8 @@ class ModelServer:
     def _run_batch(self, replica, batch: List[Request],
                    index: int) -> None:
         n = len(batch)
+        ids = [req.request_id for req in batch]
+        ids_csv = ",".join(ids)
         x = np.zeros((self.batch_size,) + self.item_shape, np.float32)
         for i, req in enumerate(batch):
             x[i] = req.item
@@ -162,62 +244,85 @@ class ModelServer:
             inputs[self.label_name] = np.zeros(
                 replica.value(self.label_name).shape, np.float32
             )
+        t0 = time.monotonic()
         try:
-            with self.tracer.span("serve.batch", "serve", replica=index,
-                                  rows=n, batch=self.batch_size):
-                replica.forward(**inputs)
+            if self.tracer.enabled:
+                # request identity flows into the executor's own step
+                # spans for this forward (replica-owned, single worker)
+                replica.trace_context = {"request_ids": ids_csv}
+            try:
+                with self.tracer.span("serve.batch", "serve",
+                                      replica=index, rows=n,
+                                      batch=self.batch_size,
+                                      request_ids=ids_csv):
+                    replica.forward(**inputs)
+            finally:
+                replica.trace_context = None
             out = replica.value(self.output)[:n].copy()
         except BaseException as exc:  # complete waiters, then bookkeep
             for req in batch:
                 req.error = exc
                 req.done.set()
+            self._m_requests.inc(n, outcome="error")
+            log_event(self.logger, "batch_error", replica=index,
+                      request_ids=ids, error=str(exc),
+                      error_type=type(exc).__name__)
             return
+        step_seconds = time.monotonic() - t0
         now = time.monotonic()
         for i, req in enumerate(batch):
             req.result = out[i]
             req.latency = now - req.enqueued_at
             req.done.set()
-        with self._lock:
-            self._served += n
-            self._batches += 1
-            self._rows += self.batch_size
-            self._latencies.extend(req.latency for req in batch)
-            if len(self._latencies) > _LATENCY_WINDOW:
-                del self._latencies[:-_LATENCY_WINDOW]
+        rep = str(index)
+        self._m_requests.inc(n, outcome="served")
+        self._m_batches.inc(replica=rep)
+        self._m_step_latency.observe(step_seconds, replica=rep)
+        self._m_fill.observe(n / self.batch_size)
         for req in batch:
-            self.tracer.metric("serve.latency_ms", req.latency * 1e3)
-        self.tracer.metric("serve.batch_fill", n / self.batch_size)
+            self._m_latency.observe(req.latency)
+            self.tracer.metric("serve.latency_ms", req.latency * 1e3,
+                               replica=index)
+            log_event(self.logger, "request",
+                      request_id=req.request_id, replica=index,
+                      latency_ms=round(req.latency * 1e3, 3))
+        self.tracer.metric("serve.batch_fill", n / self.batch_size,
+                           replica=index)
+        log_event(self.logger, "batch_flush", replica=index, rows=n,
+                  batch_size=self.batch_size,
+                  fill=round(n / self.batch_size, 4),
+                  step_ms=round(step_seconds * 1e3, 3),
+                  request_ids=ids)
 
     # -- introspection ------------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
-        """Counters plus request-latency percentiles over the recent
-        window (p50/p95/p99, milliseconds)."""
-        with self._lock:
-            lat = np.asarray(self._latencies, np.float64)
-            out: Dict[str, object] = {
-                "served": self._served,
-                "shed": self._shed,
-                "batches": self._batches,
-                "replicas": len(self.replicas),
-                "batch_size": self.batch_size,
-                "queue_depth": self.batcher.depth(),
-                "mean_batch_fill": (
-                    round(self._served / self._rows, 4) if self._rows else 0.0
-                ),
-                # per-replica forward-only arena footprint (inference
-                # compiles plan a smaller arena than train graphs)
-                "planned_bytes": int(
-                    self.replicas[0].memory_stats()["planned_bytes"]
-                ),
-            }
-        if lat.size:
-            p50, p95, p99 = np.percentile(lat, [50, 95, 99])
+        """Counters plus request-latency percentiles (milliseconds),
+        all derived from the metrics registry — the identical numbers
+        ``GET /metrics`` exposes, reduced to one JSON object. The
+        percentiles come from fixed histogram buckets, so state stays
+        bounded regardless of traffic."""
+        lat = self._m_latency
+        out: Dict[str, object] = {
+            "served": int(self._m_requests.value(outcome="served")),
+            "shed": int(self._m_requests.value(outcome="shed")),
+            "batches": int(self._m_batches.total()),
+            "replicas": len(self.replicas),
+            "batch_size": self.batch_size,
+            "queue_depth": self.batcher.depth(),
+            "mean_batch_fill": round(self._m_fill.mean(), 4),
+            # per-replica forward-only arena footprint (inference
+            # compiles plan a smaller arena than train graphs)
+            "planned_bytes": int(
+                self.replicas[0].memory_stats()["planned_bytes"]
+            ),
+        }
+        if lat.count():
             out["latency_ms"] = {
-                "p50": round(1e3 * float(p50), 3),
-                "p95": round(1e3 * float(p95), 3),
-                "p99": round(1e3 * float(p99), 3),
-                "mean": round(1e3 * float(lat.mean()), 3),
+                "p50": round(1e3 * lat.quantile(0.50), 3),
+                "p95": round(1e3 * lat.quantile(0.95), 3),
+                "p99": round(1e3 * lat.quantile(0.99), 3),
+                "mean": round(1e3 * lat.mean(), 3),
             }
         return out
 
@@ -249,7 +354,11 @@ class ModelServer:
                         tracer=None, **kwargs) -> "ModelServer":
         """Cold-start a server from a checkpoint artifact: rebuild the
         architecture, compile ``replicas`` forward-only copies at
-        ``batch_size``, restore parameters once, and share them."""
+        ``batch_size``, restore parameters once, and share them. The
+        artifact's mtime feeds the ``serve_checkpoint_age_seconds``
+        gauge."""
+        import os
+
         from repro.serve.checkpoint import load_checkpoint
 
         ck = load_checkpoint(path)
@@ -263,6 +372,12 @@ class ModelServer:
                        num_threads=num_threads, tracer=tracer)
             for _ in range(replicas)
         ]
+        try:
+            mtime = os.path.getmtime(path)
+        except OSError:
+            mtime = None
+        kwargs.setdefault("checkpoint_path", path)
+        kwargs.setdefault("checkpoint_mtime", mtime)
         return cls(nets, out, tracer=tracer, **kwargs)
 
 
@@ -277,10 +392,17 @@ def make_http_server(server: ModelServer, host: str = "127.0.0.1",
 
     * ``POST /predict`` — body ``{"inputs": [item, ...]}`` where each
       item is a nested list matching the model's input shape; responds
-      ``{"outputs": [...], "latency_ms": ...}``. Answers 503 when the
-      batcher sheds (queue full) and 400 on malformed bodies.
+      ``{"outputs": [...], "request_id": ..., "latency_ms": ...}``.
+      The request ID is taken from an ``X-Request-ID`` header when
+      present (else generated), echoed in the response header and
+      body, and propagated into batcher admission, worker spans, and
+      log lines. Answers 429 when the batcher sheds — the body carries
+      ``request_id``, ``queue_depth``, and the ``shed`` reason — and
+      400 on malformed bodies.
     * ``GET /healthz`` — liveness.
     * ``GET /stats`` — the :meth:`ModelServer.stats` JSON.
+    * ``GET /metrics`` — the metrics registry in Prometheus text
+      exposition format.
 
     Call ``serve_forever()`` on the result (or ``handle_request()`` in
     tests); ``shutdown()`` + ``ModelServer.close()`` to stop.
@@ -289,19 +411,29 @@ def make_http_server(server: ModelServer, host: str = "127.0.0.1",
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
 
-        def _reply(self, code: int, payload: dict) -> None:
-            body = json.dumps(payload).encode()
+        def _send(self, code: int, body: bytes, content_type: str,
+                  headers: Optional[Dict[str, str]] = None) -> None:
             self.send_response(code)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
+
+        def _reply(self, code: int, payload: dict,
+                   headers: Optional[Dict[str, str]] = None) -> None:
+            self._send(code, json.dumps(payload).encode(),
+                       "application/json", headers)
 
         def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
             if self.path == "/healthz":
                 self._reply(200, {"ok": True})
             elif self.path == "/stats":
                 self._reply(200, server.stats())
+            elif self.path == "/metrics":
+                self._send(200, server.registry.render().encode(),
+                           "text/plain; version=0.0.4; charset=utf-8")
             else:
                 self._reply(404, {"error": f"no route {self.path}"})
 
@@ -310,31 +442,49 @@ def make_http_server(server: ModelServer, host: str = "127.0.0.1",
                 self._reply(404, {"error": f"no route {self.path}"})
                 return
             t0 = time.monotonic()
+            rid = self.headers.get("X-Request-ID") or new_request_id()
+            echo = {"X-Request-ID": rid}
             try:
                 length = int(self.headers.get("Content-Length", 0))
                 payload = json.loads(self.rfile.read(length))
                 items = payload["inputs"]
             except (ValueError, KeyError, TypeError) as exc:
-                self._reply(400, {"error": f"bad request body: {exc}"})
+                self._reply(400, {"error": f"bad request body: {exc}",
+                                  "request_id": rid}, echo)
                 return
+            # multi-item bodies fan out to per-item request IDs so each
+            # row stays traceable; a single item keeps the ID verbatim
+            item_ids = ([rid] if len(items) == 1
+                        else [f"{rid}/{i}" for i in range(len(items))])
             try:
-                handles = [server.submit(np.asarray(item, np.float32))
-                           for item in items]
-            except QueueFullError:
-                self._reply(503, {"error": "overloaded, retry later"})
+                handles = [
+                    server.submit(np.asarray(item, np.float32),
+                                  request_id=item_id)
+                    for item, item_id in zip(items, item_ids)
+                ]
+            except QueueFullError as exc:
+                self._reply(429, {
+                    "error": "overloaded, retry later",
+                    "request_id": rid,
+                    "queue_depth": exc.depth,
+                    "shed": exc.reason,
+                }, echo)
                 return
             except (ValueError, BatcherClosedError) as exc:
-                self._reply(400, {"error": str(exc)})
+                self._reply(400, {"error": str(exc), "request_id": rid},
+                            echo)
                 return
             try:
                 outputs = [h.wait(30.0).tolist() for h in handles]
             except BaseException as exc:
-                self._reply(500, {"error": str(exc)})
+                self._reply(500, {"error": str(exc), "request_id": rid},
+                            echo)
                 return
             self._reply(200, {
                 "outputs": outputs,
+                "request_id": rid,
                 "latency_ms": round(1e3 * (time.monotonic() - t0), 3),
-            })
+            }, echo)
 
         def log_message(self, fmt, *args):  # quiet by default
             pass

@@ -74,6 +74,7 @@ def solve(
     shuffle: bool = True,
     rng=None,
     tracer=None,
+    monitor=None,
     checkpoint_every: Optional[int] = None,
     checkpoint_path: Optional[str] = None,
     resume_from: Optional[str] = None,
@@ -90,6 +91,14 @@ def solve(
     plus one ``train``-category span per epoch; it defaults to the
     network's attached tracer so step spans and training metrics land on
     the same timeline.
+
+    ``monitor`` optionally attaches a
+    :class:`repro.telemetry.TrainingMonitor`: after every epoch it
+    records loss / gradient-norm / throughput series (mirrored into a
+    metrics registry when the monitor has one) and raises
+    :class:`repro.telemetry.DivergenceError` when the loss goes
+    non-finite or rises monotonically over its window — the training
+    health watchdog (see docs/OBSERVABILITY.md).
 
     ``checkpoint_every=N`` writes a :mod:`repro.serve.checkpoint`
     artifact to ``checkpoint_path`` after every N completed epochs
@@ -130,6 +139,7 @@ def solve(
     cnet.training = True
     for _epoch in range(start_epoch, epochs):
         token = tracer.begin("epoch", "train", epoch=_epoch)
+        epoch_t0 = time.perf_counter() if monitor is not None else 0.0
         epoch_loss, n_batches, iter_time = 0.0, 0, 0.0
         for sel in _batches(len(train), cnet.batch_size, rng, shuffle):
             t0 = time.perf_counter() if tracer.enabled else 0.0
@@ -145,6 +155,11 @@ def solve(
         mean_loss = epoch_loss / max(n_batches, 1)
         hist.losses.append(mean_loss)
         tracer.metric("epoch_loss", mean_loss, epoch=_epoch)
+        if monitor is not None:
+            monitor.on_epoch(
+                _epoch, mean_loss, rows=n_batches * cnet.batch_size,
+                seconds=time.perf_counter() - epoch_t0, cnet=cnet,
+            )
         if tracer.enabled:
             tracer.metric("iteration_time",
                           iter_time / max(n_batches, 1), epoch=_epoch)

@@ -1,0 +1,104 @@
+"""Structured JSON logging + request-ID generation.
+
+One JSON object per line on a stdlib :mod:`logging` logger — the
+serving path emits a line per completed request and per batch flush, so
+a fleet's logs can be grepped/joined by ``request_id`` against tracer
+spans and the ``/metrics`` counters.
+
+Integration is plain stdlib: :func:`log_event` calls ``logger.info``
+with the structured fields stashed on the record, and
+:class:`JsonLogFormatter` serializes them. Nothing is emitted (beyond a
+cheap level check) until a handler is attached — tests stay quiet, and
+``python -m repro.serve`` turns it on via
+:func:`configure_json_logging`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import uuid
+from typing import IO, Optional, Union
+
+__all__ = [
+    "JsonLogFormatter",
+    "configure_json_logging",
+    "get_logger",
+    "log_event",
+    "new_request_id",
+]
+
+#: default logger name for the serving stack
+SERVE_LOGGER = "repro.serve"
+
+
+def new_request_id() -> str:
+    """A fresh 16-hex-char request ID (client-supplied IDs win when
+    present; this is the server-generated fallback)."""
+    return uuid.uuid4().hex[:16]
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Render each record as one JSON object per line.
+
+    Base keys: ``ts`` (epoch seconds), ``level``, ``logger``, ``event``
+    (the log message). Structured fields passed through
+    :func:`log_event` land at the top level; collisions with base keys
+    are resolved in favor of the structured field.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            payload.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_type"] = record.exc_info[0].__name__
+            payload["exc"] = str(record.exc_info[1])
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def get_logger(name: str = SERVE_LOGGER) -> logging.Logger:
+    return logging.getLogger(name)
+
+
+def configure_json_logging(
+    logger: Union[str, logging.Logger] = SERVE_LOGGER,
+    stream: Optional[IO] = None,
+    level: int = logging.INFO,
+) -> logging.Logger:
+    """Attach one JSON line handler to ``logger`` (idempotent: a second
+    call re-uses the existing handler and just adjusts the level).
+
+    ``stream`` defaults to stderr so the CLI's human-readable announce
+    line on stdout stays machine-separable from the log stream.
+    """
+    if isinstance(logger, str):
+        logger = logging.getLogger(logger)
+    handler = None
+    for h in logger.handlers:
+        if isinstance(getattr(h, "formatter", None), JsonLogFormatter):
+            handler = h
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(JsonLogFormatter())
+        logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+def log_event(logger: Optional[logging.Logger], event: str,
+              **fields) -> None:
+    """Emit one structured line (no-op when ``logger`` is ``None`` or
+    INFO is disabled — the hot path pays only the level check)."""
+    if logger is None or not logger.isEnabledFor(logging.INFO):
+        return
+    logger.info(event, extra={"fields": fields})

@@ -157,8 +157,16 @@ class RecordingTracer(Tracer):
     def spans_by_cat(self, cat: str) -> List[Span]:
         return [s for s in self.spans if s.cat == cat]
 
-    def metric_series(self, name: str) -> List[float]:
-        return [m.value for m in self.metrics if m.name == name]
+    def metric_series(self, name: str, **tags) -> List[float]:
+        """Values of every metric named ``name`` whose tags match all of
+        ``tags`` (e.g. ``metric_series('serve.latency_ms', replica=0)``
+        isolates one replica's series instead of interleaving all of
+        them). No tags selects the whole series, as before."""
+        return [
+            m.value for m in self.metrics
+            if m.name == name
+            and all(m.tags.get(k) == v for k, v in tags.items())
+        ]
 
     def profile(self, phases: Optional[Tuple[str, ...]] = None):
         """Aggregate recorded spans into a :class:`~repro.trace.report.

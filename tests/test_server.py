@@ -1,9 +1,13 @@
 """The model server (:mod:`repro.serve.server`): batched execution must
 be bitwise-equal to serial forwards, replicas must share parameter
-storage, overload must shed, and the stdlib HTTP front end must speak
-its three endpoints."""
+storage, overload must shed with structured 429s, request IDs must
+propagate end to end, and the stdlib HTTP front end must speak its
+endpoints — including ``GET /metrics`` in Prometheus text format
+agreeing with ``stats()``."""
 
+import io
 import json
+import logging
 import threading
 import urllib.error
 import urllib.request
@@ -20,6 +24,12 @@ from repro.models import (
 )
 from repro.optim import CompilerOptions
 from repro.serve import ModelServer, QueueFullError, make_http_server
+from repro.telemetry import (
+    JsonLogFormatter,
+    parse_prometheus_text,
+    sample_value,
+)
+from repro.trace import RecordingTracer
 from repro.utils.rng import seed_all
 
 CONFIG = ModelConfig(
@@ -149,8 +159,10 @@ class TestAdmission:
         with ModelServer(_replicas(1), OUT, max_latency=60.0,
                          max_queue=1) as srv:
             first = srv.submit(_items(1)[0])
-            with pytest.raises(QueueFullError):
+            with pytest.raises(QueueFullError) as exc:
                 srv.submit(_items(1)[0])
+            assert exc.value.depth == 1
+            assert exc.value.reason == "queue_full"
             assert srv.stats()["shed"] == 1
             srv.close()  # drains: the queued request still completes
             assert first.wait(10.0) is not None
@@ -217,3 +229,226 @@ class TestHTTP:
         with pytest.raises(urllib.error.HTTPError) as exc:
             self._get(endpoint + "/nope")
         assert exc.value.code == 404
+
+
+class TestMetricsEndpoint:
+    @pytest.fixture()
+    def stack(self):
+        srv = ModelServer(_replicas(1), OUT, max_latency=0.002)
+        httpd = make_http_server(srv, "127.0.0.1", 0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        host, port = httpd.server_address[:2]
+        yield srv, f"http://{host}:{port}"
+        httpd.shutdown()
+        httpd.server_close()
+        srv.close()
+
+    def _scrape(self, base):
+        with urllib.request.urlopen(base + "/metrics", timeout=10) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            return resp.read().decode()
+
+    def test_scrape_parses_and_agrees_with_stats(self, stack):
+        srv, base = stack
+        items = _items(5, seed=3)
+        body = json.dumps({"inputs": items.tolist()}).encode()
+        req = urllib.request.Request(
+            base + "/predict", data=body,
+            headers={"Content-Type": "application/json"})
+        urllib.request.urlopen(req, timeout=30).read()
+        families = parse_prometheus_text(self._scrape(base))
+        stats = srv.stats()
+        assert sample_value(families, "serve_requests_total",
+                            outcome="served") == stats["served"] == 5
+        assert sample_value(families, "serve_requests_total",
+                            outcome="shed") == stats["shed"] == 0
+        assert sample_value(
+            families, "serve_request_latency_seconds_count") == 5
+        assert sample_value(families, "serve_batch_size") == BATCH
+        assert sample_value(families, "serve_replicas") == 1
+        assert sample_value(families, "serve_queue_depth") == 0
+        assert sample_value(
+            families, "serve_planned_bytes") == stats["planned_bytes"]
+        assert families["serve_requests_total"]["type"] == "counter"
+        assert (families["serve_request_latency_seconds"]["type"]
+                == "histogram")
+
+    def test_stats_percentiles_are_bucket_derived(self, stack):
+        srv, base = stack
+        for item in _items(9, seed=4):
+            srv.predict(item)
+        lat = srv.stats()["latency_ms"]
+        assert lat["p50"] <= lat["p95"] <= lat["p99"]
+        assert lat["mean"] > 0
+        # bounded state: the histogram never stores raw samples
+        hist = srv.registry.get("serve_request_latency_seconds")
+        assert hist.count() == 9
+
+    def test_checkpoint_age_gauge(self):
+        import time
+
+        with ModelServer(_replicas(1), OUT,
+                         checkpoint_mtime=time.time() - 100) as srv:
+            age = srv.registry.get("serve_checkpoint_age_seconds").value()
+            assert 100 <= age < 160
+
+    def test_shared_registry_across_servers(self):
+        srv_a = ModelServer(_replicas(1), OUT)
+        try:
+            # a second server can reuse the same registry without
+            # name-collision errors (get-or-create families)
+            srv_b = ModelServer(_replicas(1), OUT,
+                                registry=srv_a.registry)
+            srv_b.close()
+        finally:
+            srv_a.close()
+
+
+class TestRequestIds:
+    @pytest.fixture()
+    def endpoint(self):
+        srv = ModelServer(_replicas(1), OUT, max_latency=0.002)
+        httpd = make_http_server(srv, "127.0.0.1", 0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        host, port = httpd.server_address[:2]
+        yield srv, f"http://{host}:{port}"
+        httpd.shutdown()
+        httpd.server_close()
+        srv.close()
+
+    def _post(self, url, payload, headers=None):
+        hdrs = {"Content-Type": "application/json"}
+        hdrs.update(headers or {})
+        req = urllib.request.Request(
+            url, data=json.dumps(payload).encode(), headers=hdrs)
+        resp = urllib.request.urlopen(req, timeout=30)
+        return resp, json.loads(resp.read())
+
+    def test_client_supplied_id_echoed(self, endpoint):
+        _, base = endpoint
+        resp, payload = self._post(
+            base + "/predict", {"inputs": [_items(1)[0].tolist()]},
+            headers={"X-Request-ID": "trace-me-42"})
+        assert resp.headers["X-Request-ID"] == "trace-me-42"
+        assert payload["request_id"] == "trace-me-42"
+
+    def test_generated_id_when_absent(self, endpoint):
+        _, base = endpoint
+        resp, payload = self._post(
+            base + "/predict", {"inputs": [_items(1)[0].tolist()]})
+        rid = payload["request_id"]
+        assert rid and resp.headers["X-Request-ID"] == rid
+
+    def test_multi_item_ids_fan_out(self, endpoint):
+        srv, base = endpoint
+        stream, handler = self._attach_log_capture()
+        try:
+            self._post(base + "/predict",
+                       {"inputs": _items(3, seed=8).tolist()},
+                       headers={"X-Request-ID": "multi"})
+        finally:
+            self._detach_log_capture(handler)
+        logged = [json.loads(line) for line in
+                  stream.getvalue().strip().splitlines()]
+        ids = {e["request_id"] for e in logged
+               if e["event"] == "request"}
+        assert ids == {"multi/0", "multi/1", "multi/2"}
+
+    def _attach_log_capture(self):
+        logger = logging.getLogger("repro.serve")
+        stream = io.StringIO()
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(JsonLogFormatter())
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        logger.propagate = False
+        return stream, handler
+
+    def _detach_log_capture(self, handler):
+        logging.getLogger("repro.serve").removeHandler(handler)
+
+    def test_request_id_in_json_log_lines(self, endpoint):
+        _, base = endpoint
+        stream, handler = self._attach_log_capture()
+        try:
+            self._post(base + "/predict",
+                       {"inputs": [_items(1)[0].tolist()]},
+                       headers={"X-Request-ID": "log-probe"})
+        finally:
+            self._detach_log_capture(handler)
+        events = [json.loads(line) for line in
+                  stream.getvalue().strip().splitlines()]
+        per_request = [e for e in events if e["event"] == "request"]
+        assert any(e["request_id"] == "log-probe" for e in per_request)
+        flushes = [e for e in events if e["event"] == "batch_flush"]
+        assert any("log-probe" in e["request_ids"] for e in flushes)
+        assert all("latency_ms" in e for e in per_request)
+
+    def test_shed_is_429_with_context(self):
+        srv = ModelServer(_replicas(1), OUT, max_latency=60.0,
+                          max_queue=1)
+        httpd = make_http_server(srv, "127.0.0.1", 0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        host, port = httpd.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            self_post = lambda hdr: urllib.request.urlopen(  # noqa: E731
+                urllib.request.Request(
+                    base + "/predict",
+                    data=json.dumps(
+                        {"inputs": [_items(1)[0].tolist()]}).encode(),
+                    headers={"Content-Type": "application/json",
+                             "X-Request-ID": hdr}),
+                timeout=5)
+            # first request parks in the queue (latency trigger is 60s)
+            first = threading.Thread(target=lambda: self_post("a"))
+            first.start()
+            deadline = threading.Event()
+            for _ in range(200):  # wait until it is actually queued
+                if srv.batcher.depth() == 1:
+                    break
+                deadline.wait(0.01)
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                self_post("b")
+            assert exc.value.code == 429
+            body = json.loads(exc.value.read())
+            assert body["request_id"] == "b"
+            assert body["shed"] == "queue_full"
+            assert body["queue_depth"] == 1
+            assert exc.value.headers["X-Request-ID"] == "b"
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            srv.close()  # drains the parked request
+            first.join(15.0)
+
+    def test_request_ids_reach_executor_spans(self):
+        tracer = RecordingTracer()
+        seed_all(42)
+        replica = build_latte(CONFIG, BATCH).init(
+            CompilerOptions.inference(), tracer=tracer)
+        with ModelServer([replica], OUT, max_latency=0.002,
+                         tracer=tracer) as srv:
+            srv.predict(_items(1)[0], request_id="deep-trace")
+        batch_spans = [s for s in tracer.spans if s.name == "serve.batch"]
+        assert any("deep-trace" in s.args.get("request_ids", "")
+                   for s in batch_spans)
+        step_spans = [s for s in tracer.spans
+                      if s.cat == "forward" and "request_ids" in s.args]
+        assert step_spans, "executor step spans must carry the id"
+        assert all("deep-trace" in s.args["request_ids"]
+                   for s in step_spans)
+
+    def test_trace_context_cleared_between_batches(self):
+        tracer = RecordingTracer()
+        seed_all(42)
+        replica = build_latte(CONFIG, BATCH).init(
+            CompilerOptions.inference(), tracer=tracer)
+        with ModelServer([replica], OUT, max_latency=0.002,
+                         tracer=tracer) as srv:
+            srv.predict(_items(1)[0], request_id="one")
+            assert srv.replicas[0].trace_context is None

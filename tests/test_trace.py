@@ -277,6 +277,26 @@ class TestChromeTrace:
         assert any(e["args"]["name"] == "forward" for e in meta)
 
 
+class TestMetricSeries:
+    def test_tags_filter_the_series(self):
+        tr = RecordingTracer()
+        tr.metric("lat", 1.0, replica=0)
+        tr.metric("lat", 2.0, replica=1)
+        tr.metric("lat", 3.0, replica=0)
+        tr.metric("other", 9.0, replica=0)
+        assert tr.metric_series("lat") == [1.0, 2.0, 3.0]
+        assert tr.metric_series("lat", replica=0) == [1.0, 3.0]
+        assert tr.metric_series("lat", replica=1) == [2.0]
+        assert tr.metric_series("lat", replica=2) == []
+
+    def test_multiple_tags_must_all_match(self):
+        tr = RecordingTracer()
+        tr.metric("m", 1.0, a=1, b=2)
+        tr.metric("m", 2.0, a=1, b=3)
+        assert tr.metric_series("m", a=1, b=2) == [1.0]
+        assert tr.metric_series("m", a=1) == [1.0, 2.0]
+
+
 class TestTrainAndSimSpans:
     def test_solve_records_epoch_metrics(self):
         from repro import LRPolicy, MomPolicy, SGD, SolverParameters, solve
