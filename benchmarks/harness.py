@@ -250,3 +250,18 @@ def record_observability(payload: Dict[str, object]) -> None:
     with open(OBSERVABILITY_JSON, "w") as f:
         json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")
+
+
+# -- compile-cache cold start ------------------------------------------------
+
+COLD_START_JSON = os.path.join(RESULTS_DIR, "BENCH_cold_start.json")
+
+
+def record_cold_start(payload: Dict[str, object]) -> None:
+    """Persist the cold-vs-warm server-boot measurements (compile and
+    boot wall times in fresh processes, warm/cold speedup, bitwise
+    prediction parity) to ``benchmarks/results/BENCH_cold_start.json``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(COLD_START_JSON, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")

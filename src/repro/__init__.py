@@ -96,6 +96,9 @@ from repro.trace import (
 
 __version__ = "1.0.0"
 
+# after __version__: cache keys embed it (repro.cache.key imports repro)
+from repro.cache import CompileCache, compile_cached  # noqa: E402
+
 __all__ = [
     "OPT_LEVELS",
     "SGD",
@@ -105,6 +108,7 @@ __all__ = [
     "Adam",
     "AddLayer",
     "BatchNormLayer",
+    "CompileCache",
     "CompileReport",
     "CompiledNet",
     "CompilerOptions",
@@ -145,6 +149,7 @@ __all__ = [
     "Tracer",
     "add_connections",
     "all_to_all",
+    "compile_cached",
     "compile_net",
     "evaluate",
     "init",

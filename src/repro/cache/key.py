@@ -1,0 +1,105 @@
+"""Cache keys: canonical builder records + content hashing.
+
+An entry is addressed by a SHA-256 over everything that determines the
+compiled program, rendered as canonical (sorted-keys) JSON:
+
+* the **builder record** — the same type-tagged architecture rendering
+  checkpoints store (``config_to_dict`` for a
+  :class:`~repro.models.ModelConfig`, ``NetSpec.to_dict`` for a fuzz
+  spec), so a checkpoint and the cache agree on what "the same model"
+  means;
+* the batch size and every :class:`~repro.optim.CompilerOptions` field
+  (``asdict``), the executor thread count (shard marking happens at
+  compile time), and the normalized ``keep_alive`` set (it shapes the
+  memory plan);
+* the backend identifier, the library version, the NumPy version, and
+  the entry :data:`FORMAT_VERSION` — bumping any of these invalidates
+  every existing entry rather than risking a stale thaw.
+
+Anything *not* in the key (tracer, watchdog, cache directory) must
+never change the generated program.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Optional
+
+import numpy as np
+
+#: the only executable backend today; a future C backend gets its own id
+BACKEND_ID = "python-numpy"
+
+#: on-disk entry layout version: readers refuse newer entries and treat
+#: older ones as misses (see repro.cache.store); part of the key, so a
+#: bump simply stops matching old files instead of misreading them
+FORMAT_VERSION = 1
+
+
+class CacheUnsupported(ValueError):
+    """The model cannot be cached (e.g. a closure kind the freezer does
+    not know how to rebuild). Callers fall back to uncached compiles."""
+
+
+def as_builder(model) -> dict:
+    """Normalize a model description into the checkpoint-style builder
+    record ``{"kind": "model_config"|"net_spec", ...}``.
+
+    Accepts a :class:`~repro.models.ModelConfig`, a fuzz-generator
+    ``NetSpec`` (anything with ``to_dict``/``seed``/``layers``), or an
+    already-built builder dict (as stored in checkpoint metadata).
+    """
+    if isinstance(model, dict):
+        if model.get("kind") not in ("model_config", "net_spec"):
+            raise CacheUnsupported(
+                f"builder dict has unknown kind {model.get('kind')!r}"
+            )
+        return model
+    from repro.models.configs import ModelConfig, config_to_dict
+
+    if isinstance(model, ModelConfig):
+        return {"kind": "model_config", "config": config_to_dict(model)}
+    if hasattr(model, "to_dict") and hasattr(model, "seed"):
+        return {"kind": "net_spec", "spec": model.to_dict()}
+    raise CacheUnsupported(
+        f"cannot derive a builder record from {type(model).__name__}; "
+        f"pass a ModelConfig, a NetSpec, or a checkpoint builder dict"
+    )
+
+
+def builder_batch(builder: dict) -> Optional[int]:
+    """The batch size a builder record itself pins (net_spec records
+    carry one; model_config records do not)."""
+    if builder["kind"] == "net_spec":
+        return int(builder["spec"]["batch"])
+    return None
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON: sorted keys, no whitespace drift."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(builder: dict, batch_size: int, options, num_threads: int,
+              keep_alive) -> str:
+    """SHA-256 hex key over the canonical compile identity (see module
+    docstring). ``keep_alive=None`` means the mode-dependent default and
+    hashes as a sentinel distinct from any explicit set."""
+    import repro
+
+    identity = {
+        "builder": builder,
+        "batch_size": int(batch_size),
+        "options": asdict(options),
+        "num_threads": int(num_threads),
+        "keep_alive": (sorted(str(k) for k in keep_alive)
+                       if keep_alive is not None else "default"),
+        "backend": BACKEND_ID,
+        "repro_version": repro.__version__,
+        "numpy_version": np.__version__,
+        "format_version": FORMAT_VERSION,
+    }
+    digest = hashlib.sha256(canonical_json(identity).encode()).hexdigest()
+    return digest

@@ -264,6 +264,20 @@ def _where(c, a, b):
 '''
 
 
+def exec_program(source: str, closures: Dict[str, Callable]) -> Dict:
+    """Execute generated program source and return its namespace.
+
+    The only free name the emitted code references is ``_CL`` (the
+    runtime-closure table). Shared by the cold compile below and by the
+    compile cache's thaw path (``repro.cache.freeze``), which re-binds
+    cached source to freshly rebuilt closures.
+    """
+    namespace: Dict[str, object] = {"_CL": closures}
+    code = compile(source, "<latte-generated>", "exec")
+    exec(code, namespace)
+    return namespace
+
+
 def compile_items(
     fwd_items, bwd_items, closures, vectorize: bool
 ) -> CompiledProgram:
@@ -307,9 +321,7 @@ def compile_items(
                 )
             )
     source = _PRELUDE + "\n".join(lines)
-    namespace: Dict[str, object] = {"_CL": closures}
-    code = compile(source, "<latte-generated>", "exec")
-    exec(code, namespace)
+    namespace = exec_program(source, closures)
     for tag in ("f", "b"):
         for step in steps[tag]:
             if step.kind == "task":

@@ -81,7 +81,15 @@ SPEC_TYPES = {
 
 
 def config_to_dict(config: "ModelConfig") -> dict:
-    """A JSON-serializable rendering of a :class:`ModelConfig`."""
+    """A JSON-serializable rendering of a :class:`ModelConfig`.
+
+    This is the *canonical* architecture form: checkpoints store it as
+    their builder record, and the persistent compilation cache
+    (:mod:`repro.cache`) hashes it — field for field — into entry keys.
+    Changing what this emits therefore invalidates existing cache
+    entries (by design: the key must cover anything that changes the
+    compiled program).
+    """
     return {
         "name": config.name,
         "input_shape": list(config.input_shape),

@@ -367,6 +367,12 @@ class CompiledNet:
                 + (f" ({fused} fused)" if fused else "")
                 + (f", {comms} comm" if comms else "")
             )
+        report = self.compile_report
+        if report is not None and report.cache_hit:
+            lines.append(
+                f"  compile    : warm cache hit {report.cache_key[:12]} "
+                f"({report.compile_seconds * 1e3:.1f}ms thaw)"
+            )
         return "\n".join(lines)
 
     def __repr__(self) -> str:

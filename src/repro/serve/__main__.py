@@ -50,6 +50,12 @@ def main(argv=None) -> int:
                     "checkpoint)")
     ap.add_argument("--threads", type=int, default=None,
                     help="executor threads per replica")
+    ap.add_argument("--compile-cache", nargs="?", const=True, default=None,
+                    metavar="DIR",
+                    help="compile through the persistent compilation "
+                    "cache: warm boots skip every compiler pass "
+                    "(docs/COMPILE_CACHE.md). Optional DIR overrides "
+                    "REPRO_CACHE_DIR / ~/.cache/latte-repro/compile")
     args = ap.parse_args(argv)
 
     configure_json_logging()
@@ -61,6 +67,7 @@ def main(argv=None) -> int:
         num_threads=args.threads,
         max_latency=args.max_latency_ms / 1e3,
         max_queue=args.max_queue,
+        cache=args.compile_cache,
     )
     httpd = make_http_server(server, args.host, args.port)
     host, port = httpd.server_address[:2]

@@ -192,16 +192,39 @@ class Checkpoint:
         raise CheckpointError(f"unknown builder kind {builder['kind']!r}")
 
     def compile(self, batch_size: Optional[int] = None, options=None,
-                tracer=None, num_threads=None, keep_alive=None):
+                tracer=None, num_threads=None, keep_alive=None,
+                cache=None):
         """Rebuild, compile, and restore parameters in one call — the
         server cold-start path. Defaults to forward-only compilation
-        (``CompilerOptions.inference()``)."""
+        (``CompilerOptions.inference()``).
+
+        Pass ``cache=`` (a ``repro.cache.CompileCache``, a directory
+        path, or ``True`` for the default store) to route the compile
+        through the persistent compilation cache: a warm entry skips
+        synthesis and every pass, turning cold-start into a
+        millisecond thaw (see docs/COMPILE_CACHE.md). Parameters are
+        restored either way, so hit and miss produce bitwise-identical
+        servers.
+        """
         from repro.optim.pipeline import CompilerOptions
 
+        options = options or CompilerOptions.inference()
+        builder = self.meta.get("builder")
+        if cache is not None and cache is not False and builder is not None:
+            from repro.cache import compile_cached
+
+            cnet = compile_cached(
+                builder,
+                batch_size if batch_size is not None else self.batch_size,
+                options=options, tracer=tracer, num_threads=num_threads,
+                keep_alive=keep_alive,
+                cache=None if cache is True else cache,
+            )
+            self.restore_params(cnet)
+            return cnet
         built = self.build(batch_size)
         net = getattr(built, "net", built)
-        cnet = net.init(options or CompilerOptions.inference(),
-                        tracer=tracer, num_threads=num_threads,
+        cnet = net.init(options, tracer=tracer, num_threads=num_threads,
                         keep_alive=keep_alive)
         self.restore_params(cnet)
         return cnet

@@ -189,6 +189,30 @@ class ModelServer:
             r.gauge("serve_checkpoint_age_seconds",
                     "Age of the served checkpoint artifact",
                     fn=lambda: max(0.0, time.time() - mtime))
+        # compile-cache provenance: how many replica compiles were warm
+        # thaws vs cold compiles, and how stale the warm entry is (only
+        # populated when the replicas went through repro.cache)
+        reports = [getattr(rep, "compile_report", None)
+                   for rep in self.replicas]
+        reports = [rp for rp in reports if rp is not None
+                   and rp.cache_key is not None]
+        if reports:
+            hits = sum(1 for rp in reports if rp.cache_hit)
+            r.counter(
+                "serve_compile_cache_hits_total",
+                "Replica compiles thawed from the compilation cache",
+            ).inc(hits)
+            r.counter(
+                "serve_compile_cache_misses_total",
+                "Replica compiles that ran cold and seeded the cache",
+            ).inc(len(reports) - hits)
+            created = [rp.cache_created for rp in reports
+                       if rp.cache_hit and rp.cache_created is not None]
+            if created:
+                oldest = min(created)
+                r.gauge("serve_compile_cache_age_seconds",
+                        "Age of the oldest thawed compile-cache entry",
+                        fn=lambda: max(0.0, time.time() - oldest))
 
     # -- client API ---------------------------------------------------------
 
@@ -351,12 +375,20 @@ class ModelServer:
                         replicas: int = 1, options=None,
                         output: Optional[str] = None,
                         num_threads: Optional[int] = None,
-                        tracer=None, **kwargs) -> "ModelServer":
-        """Cold-start a server from a checkpoint artifact: rebuild the
+                        tracer=None, cache=None, **kwargs) -> "ModelServer":
+        """Boot a server from a checkpoint artifact: rebuild the
         architecture, compile ``replicas`` forward-only copies at
         ``batch_size``, restore parameters once, and share them. The
         artifact's mtime feeds the ``serve_checkpoint_age_seconds``
-        gauge."""
+        gauge.
+
+        Pass ``cache=`` (a ``repro.cache.CompileCache``, a directory
+        path, or ``True`` for the default store) to compile through the
+        persistent compilation cache: a pre-warmed entry turns boot into
+        a millisecond thaw, and even cold the first replica's compile
+        seeds the cache so replicas 2..N (and the next boot) are warm.
+        Hit/miss counts and entry age land in the metrics registry
+        (``serve_compile_cache_*``)."""
         import os
 
         from repro.serve.checkpoint import load_checkpoint
@@ -369,7 +401,8 @@ class ModelServer:
             )
         nets = [
             ck.compile(batch_size, options=options,
-                       num_threads=num_threads, tracer=tracer)
+                       num_threads=num_threads, tracer=tracer,
+                       cache=cache)
             for _ in range(replicas)
         ]
         try:

@@ -308,24 +308,36 @@ def _unpad_unit(ens, j, cf, cplan) -> LoopUnit:
     )
 
 
-def _make_gather(ens, j, cf, cplan, closures, fwd, bwd):
-    """Non-affine mappings: materialized index arrays + runtime gather."""
-    info = cf.mapping
-    idx = info.gather_indices  # (*sink_shape, K)
-    in_buf, grad_in = cplan.in_buf, cplan.grad_in_buf
-    src_v, src_g = cplan.src_value, cplan.src_grad
+def make_gather_closures(idx, in_buf, grad_in, src_value, src_grad):
+    """(forward, backward) closures for one materialized-index gather.
 
-    def gather_fwd(bufs, rt, idx=idx, in_buf=in_buf, src=src_v):
+    Module-level so the compile cache can rebuild the pair at thaw time
+    from the stored index array + buffer names (see ``repro.cache``)
+    without re-running shared-variable analysis.
+    """
+
+    def gather_fwd(bufs, rt, idx=idx, in_buf=in_buf, src=src_value):
         flat = bufs[src].reshape(bufs[src].shape[0], -1)
         gathered = flat[:, idx]  # (B, *sink, K)
         bufs[in_buf][...] = np.moveaxis(gathered, -1, 1)
 
-    def gather_bwd(bufs, rt, idx=idx, grad_in=grad_in, src=src_g):
+    def gather_bwd(bufs, rt, idx=idx, grad_in=grad_in, src=src_grad):
         flat = bufs[src].reshape(bufs[src].shape[0], -1)
         g = np.moveaxis(bufs[grad_in], 1, -1)  # (B, *sink, K)
         for b in range(flat.shape[0]):
             np.add.at(flat[b], idx, g[b])
 
+    return gather_fwd, gather_bwd
+
+
+def _make_gather(ens, j, cf, cplan, closures, fwd, bwd):
+    """Non-affine mappings: materialized index arrays + runtime gather."""
+    info = cf.mapping
+    in_buf, grad_in = cplan.in_buf, cplan.grad_in_buf
+    src_v, src_g = cplan.src_value, cplan.src_grad
+    gather_fwd, gather_bwd = make_gather_closures(
+        info.gather_indices, in_buf, grad_in, src_v, src_g
+    )
     fkey, bkey = f"{ens.name}.gather{j}", f"{ens.name}.scatter{j}"
     closures[fkey] = gather_fwd
     closures[bkey] = gather_bwd
@@ -543,24 +555,20 @@ class _RefRewriter:
 # ---------------------------------------------------------------------------
 
 
-def _lower_normalization(ens, plan, closures):
-    vbuf, gbuf = plan.value_buf(ens.name), plan.grad_buf(ens.name)
-    src_vals = [plan.value_buf(c.source.name) for c in ens.inputs]
-    src_grads = [plan.grad_buf(c.source.name) for c in ens.inputs]
+def make_norm_closures(ens, vbuf, gbuf, src_vals, src_grads):
+    """(forward, backward-or-None) closures for a NormalizationEnsemble.
+
+    Bound to the *live* ensemble object (its ``forward_fn``/
+    ``backward_fn``/``state``), so the compile cache rebuilds them from
+    a freshly constructed net plus stored buffer names.
+    """
 
     def fwd_fn(bufs, rt, ens=ens, vbuf=vbuf, src_vals=src_vals):
         ens.state["training"] = rt.training
         ens.state["t"] = rt.current_t
         ens.forward_fn(bufs[vbuf], [bufs[s] for s in src_vals], ens.state)
 
-    fkey = f"{ens.name}.norm_forward"
-    closures[fkey] = fwd_fn
-    fwd = Section(ens.name, "forward")
-    fwd.units.append(
-        LoopUnit([], ExternOp(fkey, tuple([vbuf] + src_vals)),
-                 UnitTags(ensemble=ens.name, kind="extern", direction="forward"))
-    )
-    bwd = Section(ens.name, "backward")
+    bwd_fn = None
     if ens.backward_fn is not None:
         def bwd_fn(bufs, rt, ens=ens, vbuf=vbuf, gbuf=gbuf,
                    src_vals=src_vals, src_grads=src_grads):
@@ -573,6 +581,24 @@ def _lower_normalization(ens, plan, closures):
                 ens.state,
             )
 
+    return fwd_fn, bwd_fn
+
+
+def _lower_normalization(ens, plan, closures):
+    vbuf, gbuf = plan.value_buf(ens.name), plan.grad_buf(ens.name)
+    src_vals = [plan.value_buf(c.source.name) for c in ens.inputs]
+    src_grads = [plan.grad_buf(c.source.name) for c in ens.inputs]
+    fwd_fn, bwd_fn = make_norm_closures(ens, vbuf, gbuf, src_vals, src_grads)
+
+    fkey = f"{ens.name}.norm_forward"
+    closures[fkey] = fwd_fn
+    fwd = Section(ens.name, "forward")
+    fwd.units.append(
+        LoopUnit([], ExternOp(fkey, tuple([vbuf] + src_vals)),
+                 UnitTags(ensemble=ens.name, kind="extern", direction="forward"))
+    )
+    bwd = Section(ens.name, "backward")
+    if bwd_fn is not None:
         bkey = f"{ens.name}.norm_backward"
         closures[bkey] = bwd_fn
         bwd.units.append(
@@ -583,9 +609,9 @@ def _lower_normalization(ens, plan, closures):
     return fwd, bwd
 
 
-def _lower_loss(ens, plan, closures):
-    src_vals = [plan.value_buf(c.source.name) for c in ens.inputs]
-    src_grads = [plan.grad_buf(c.source.name) for c in ens.inputs]
+def make_loss_closures(ens, src_vals, src_grads):
+    """(forward, backward) closures for a LossEnsemble — module-level
+    for the same cache-thaw reason as :func:`make_norm_closures`."""
 
     def fwd_fn(bufs, rt, ens=ens, src_vals=src_vals):
         ens.state["t"] = rt.current_t
@@ -599,6 +625,14 @@ def _lower_loss(ens, plan, closures):
             [bufs[s] for s in src_vals],
             ens.state,
         )
+
+    return fwd_fn, bwd_fn
+
+
+def _lower_loss(ens, plan, closures):
+    src_vals = [plan.value_buf(c.source.name) for c in ens.inputs]
+    src_grads = [plan.grad_buf(c.source.name) for c in ens.inputs]
+    fwd_fn, bwd_fn = make_loss_closures(ens, src_vals, src_grads)
 
     fkey, bkey = f"{ens.name}.loss_forward", f"{ens.name}.loss_backward"
     closures[fkey] = fwd_fn

@@ -250,6 +250,39 @@ def _compare_bitwise(check: str, got: RunResult, want: RunResult,
                         want.param_grads[key], 0, 0, out, bitwise=True)
 
 
+def _run_cache_roundtrip(spec: NetSpec, level: int):
+    """Run ``spec`` twice through ``compile_cached`` against a throwaway
+    store — a cold compile that populates it, then a warm thaw — and
+    return ``(cold_result, warm_result, warm_was_hit)``."""
+    import tempfile
+
+    from repro.cache import CompileCache, compile_cached
+
+    def one(store):
+        seed_all(spec.seed)
+        net = build_net(spec)
+        opts = CompilerOptions.level(level)
+        opts.min_tile_rows = 2
+        cnet = compile_cached(spec, net=net, options=opts, cache=store)
+        x, y = make_inputs(spec)
+        loss = cnet.forward(data=x, label=y)
+        cnet.clear_param_grads()
+        cnet.backward()
+        result = RunResult(
+            loss=float(loss),
+            output=cnet.value("head").copy(),
+            dx=cnet.grad("data").copy(),
+            param_grads={p.key: p.grad.copy() for p in cnet.parameters()},
+        )
+        return result, cnet.compile_report.cache_hit
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CompileCache(tmp)
+        cold, _ = one(store)
+        warm, hit = one(store)
+    return cold, warm, hit
+
+
 def _baseline_config(spec: NetSpec):
     """Map a baseline-compatible spec onto a shared ModelConfig (layer
     names matching :func:`build_net`'s), or None if out of vocabulary."""
@@ -404,6 +437,20 @@ def check_spec(
                    f"train graph {train_loss!r}"))
     _compare_arrays(check, "output", inf_out, train_out, 0, 0,
                     report.mismatches, bitwise=True)
+
+    # a thawed compile-cache entry is the stored cold program re-bound
+    # to a freshly built net: no synthesis, no passes, no codegen — so
+    # it must compute bit-for-bit what the cold compile computes
+    check = "cache"
+    report.checks.append(check)
+    cold, warm, warm_hit = _run_cache_roundtrip(
+        spec, max(levels) if levels else 4
+    )
+    if not warm_hit:
+        report.mismatches.append(Mismatch(
+            check, "second compile_cached did not hit the cache"))
+    else:
+        _compare_bitwise(check, warm, cold, report.mismatches)
 
     if threads and spec.batch > 1:
         thread_level = max(levels) if levels else 4

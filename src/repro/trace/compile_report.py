@@ -48,6 +48,16 @@ class CompileReport:
 
     records: List[PassRecord] = field(default_factory=list)
     total_time: float = 0.0
+    #: wall-clock seconds of the whole ``compile_net`` call (passes plus
+    #: synthesis and codegen), or of the cache thaw that replaced it —
+    #: the number cold-vs-warm boot benchmarks compare
+    compile_seconds: float = 0.0
+    #: filled by the persistent compilation cache (repro.cache): the
+    #: entry's content-hash key, whether this program was thawed from it
+    #: (every pass skipped), and the entry's creation timestamp
+    cache_key: Optional[str] = None
+    cache_hit: bool = False
+    cache_created: Optional[float] = None
 
     def add(self, record: PassRecord) -> PassRecord:
         self.records.append(record)
@@ -81,7 +91,10 @@ class CompileReport:
                 f"{r.name:14s} {'yes' if r.enabled else 'no':>3s} "
                 f"{r.wall_time * 1e3:8.2f} {units:>11s}  {r.describe()}"
             )
-        lines.append(f"compile total {self.total_time * 1e3:.2f}ms")
+        total = f"compile total {self.total_time * 1e3:.2f}ms"
+        if self.cache_hit:
+            total += f" (warm cache hit {self.cache_key[:12]})"
+        lines.append(total)
         return "\n".join(lines)
 
     def __str__(self) -> str:

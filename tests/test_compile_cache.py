@@ -1,0 +1,408 @@
+"""Tests for the persistent compilation cache (repro.cache).
+
+Covers the correctness contract (a thawed program is bitwise the cold
+program), the keying rules (anything that changes the compiled program
+changes the key), and the durability rules (corrupt entries degrade to
+cold compiles; concurrent writers leave a valid entry; eviction is
+size-bounded LRU).
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cache import (
+    CacheUnsupported,
+    CompileCache,
+    as_builder,
+    cache_key,
+    compile_cached,
+    freeze,
+    thaw,
+)
+from repro.cache.__main__ import main as cache_main
+from repro.core import Dim, Ensemble, FieldBinding, Net
+from repro.layers import MemoryDataLayer
+from repro.layers.neurons import ScaleNeuron
+from repro.models.build import build_latte
+from repro.models.configs import (
+    DropoutSpec,
+    FCSpec,
+    ModelConfig,
+    ReLUSpec,
+    SoftmaxLossSpec,
+    mlp_config,
+)
+from repro.optim import CompilerOptions, compile_net
+from repro.serve.checkpoint import load_checkpoint, save_checkpoint
+from repro.serve.server import ModelServer
+from repro.testing.generator import build_net, make_inputs, random_spec
+from repro.utils.rng import seed_all
+
+MLP = mlp_config(hidden=(16, 5), classes=5, input_dim=30)
+
+
+def _train_run(spec, store, level=4):
+    """One seeded forward+backward through compile_cached."""
+    seed_all(spec.seed)
+    net = build_net(spec)
+    opts = CompilerOptions.level(level)
+    opts.min_tile_rows = 2
+    cnet = compile_cached(spec, net=net, options=opts, cache=store)
+    x, y = make_inputs(spec)
+    loss = cnet.forward(data=x, label=y)
+    cnet.clear_param_grads()
+    cnet.backward()
+    return cnet, {
+        "loss": float(loss),
+        "output": cnet.value("head").copy(),
+        "dx": cnet.grad("data").copy(),
+        "grads": {p.key: p.grad.copy() for p in cnet.parameters()},
+    }
+
+
+def _assert_same_run(warm, cold):
+    assert warm["loss"] == cold["loss"]
+    np.testing.assert_array_equal(warm["output"], cold["output"])
+    np.testing.assert_array_equal(warm["dx"], cold["dx"])
+    assert set(warm["grads"]) == set(cold["grads"])
+    for key in cold["grads"]:
+        np.testing.assert_array_equal(warm["grads"][key],
+                                      cold["grads"][key])
+
+
+class TestRoundTrip:
+    # seed 3: conv/tanh/pool/dropout (pre_forward closure);
+    # seed 11: batchnorm (norm closures); seed 42: fc+gru, T=3 (recurrent)
+    @pytest.mark.parametrize("seed", [3, 11, 42])
+    def test_fuzz_spec_bitwise(self, tmp_path, seed):
+        spec = random_spec(seed)
+        store = CompileCache(tmp_path)
+        cold_net, cold = _train_run(spec, store)
+        assert not cold_net.compile_report.cache_hit
+        assert cold_net.compile_report.cache_key is not None
+        warm_net, warm = _train_run(spec, store)
+        assert warm_net.compile_report.cache_hit
+        _assert_same_run(warm, cold)
+
+    def test_model_config_inference_bitwise(self, tmp_path):
+        store = CompileCache(tmp_path)
+        opts = CompilerOptions.inference()
+        x = np.random.default_rng(0).standard_normal((4, 30)).astype(
+            np.float32)
+
+        def run():
+            seed_all(5)
+            cnet = compile_cached(MLP, 4, options=opts, cache=store)
+            cnet.forward(data=x)
+            return cnet, cnet.value("ip2").copy()
+
+        cold_net, cold_out = run()
+        warm_net, warm_out = run()
+        assert warm_net.compile_report.cache_hit
+        np.testing.assert_array_equal(warm_out, cold_out)
+
+    def test_warm_report_skips_every_pass(self, tmp_path):
+        store = CompileCache(tmp_path)
+        compile_cached(MLP, 4, cache=store)
+        warm = compile_cached(MLP, 4, cache=store)
+        report = warm.compile_report
+        assert report.cache_hit
+        names = [r.name for r in report.records]
+        assert "cache_thaw" in names
+        # the original pass ledger survives for attribution, but no
+        # pass ran: every stored record reports zero wall time
+        for rec in report.records:
+            if rec.name != "cache_thaw":
+                assert rec.wall_time == 0.0
+        assert report.compile_seconds > 0.0
+        assert "warm cache hit" in report.table()
+        assert "warm cache hit" in warm.summary()
+
+    def test_gather_net_freeze_thaw(self, tmp_path):
+        """Hand-built DSL nets are unkeyable (no builder record) but the
+        freeze/thaw layer itself must still round-trip their gather/
+        scatter closures bitwise."""
+        perm = [5, 2, 7, 0, 3, 6, 1, 4]
+
+        def build():
+            net = Net(3)
+            d = MemoryDataLayer(net, "data", (8,))
+            ens = Ensemble(net, "perm", ScaleNeuron, (8,), fields={
+                "scale": FieldBinding(np.ones((1, 8), np.float32),
+                                      (0, Dim(0)))
+            })
+            net.add_connections(d, ens, lambda i: (perm[i],))
+            return net
+
+        cold = compile_net(build(), CompilerOptions.level(4))
+        meta, arrays = freeze(cold)
+        warm = thaw(build(), meta, arrays, cold.options)
+        x = np.random.default_rng(0).standard_normal((3, 8)).astype(
+            np.float32)
+        cold.forward(data=x)
+        warm.forward(data=x)
+        np.testing.assert_array_equal(warm.value("perm"),
+                                      cold.value("perm"))
+        np.testing.assert_array_equal(warm.value("perm"), x[:, perm])
+
+    def test_unkeyable_model_raises(self):
+        with pytest.raises(CacheUnsupported):
+            as_builder(Net(2))
+
+
+class TestKeying:
+    def _key(self, **kw):
+        builder = as_builder(kw.pop("model", MLP))
+        return cache_key(
+            builder,
+            kw.pop("batch", 4),
+            kw.pop("options", CompilerOptions()),
+            kw.pop("threads", 1),
+            kw.pop("keep_alive", None),
+        )
+
+    def test_identical_identity_same_key(self):
+        assert self._key() == self._key(options=CompilerOptions())
+
+    def test_each_component_changes_key(self):
+        base = self._key()
+        opts = CompilerOptions()
+        opts.fusion = False
+        assert self._key(options=opts) != base
+        assert self._key(options=CompilerOptions.inference()) != base
+        assert self._key(batch=8) != base
+        assert self._key(threads=2) != base
+        assert self._key(keep_alive={"L0_fc"}) != base
+        other = mlp_config(hidden=(16, 13), classes=5, input_dim=30)
+        assert self._key(model=other) != base
+
+    def test_options_mismatch_forces_recompile(self, tmp_path):
+        store = CompileCache(tmp_path)
+        compile_cached(MLP, 4, cache=store)
+        opts = CompilerOptions()
+        opts.tiling = False
+        again = compile_cached(MLP, 4, options=opts, cache=store)
+        assert not again.compile_report.cache_hit
+        assert len(store.entries()) == 2
+
+    def test_version_bump_invalidates(self, tmp_path, monkeypatch):
+        store = CompileCache(tmp_path)
+        compile_cached(MLP, 4, cache=store)
+        monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+        again = compile_cached(MLP, 4, cache=store)
+        assert not again.compile_report.cache_hit
+
+    def test_spec_change_invalidates(self, tmp_path):
+        store = CompileCache(tmp_path)
+        spec = random_spec(3)
+        _train_run(spec, store)
+        other = random_spec(4)
+        cnet, _ = _train_run(other, store)
+        assert not cnet.compile_report.cache_hit
+
+
+class TestCorruption:
+    def _entry_path(self, store):
+        entries = store.entries()
+        assert len(entries) == 1
+        return entries[0].path
+
+    def test_truncated_entry_falls_back_cold(self, tmp_path):
+        store = CompileCache(tmp_path)
+        cold = compile_cached(MLP, 4, cache=store)
+        path = self._entry_path(store)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        again = compile_cached(MLP, 4, cache=store)
+        assert not again.compile_report.cache_hit
+        assert again.compile_report.cache_key == \
+            cold.compile_report.cache_key
+        # the cold recompile re-stored a good entry: next one is warm
+        third = compile_cached(MLP, 4, cache=store)
+        assert third.compile_report.cache_hit
+
+    def test_garbage_entry_is_deleted_on_get(self, tmp_path):
+        store = CompileCache(tmp_path)
+        key = "ab" * 32
+        store.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        store.path_for(key).write_bytes(b"not an npz at all")
+        assert store.get(key) is None
+        assert not store.path_for(key).exists()
+
+    def test_entry_under_wrong_key_is_rejected(self, tmp_path):
+        store = CompileCache(tmp_path)
+        compile_cached(MLP, 4, cache=store)
+        path = self._entry_path(store)
+        alias = store.path_for("cd" * 32)
+        alias.write_bytes(path.read_bytes())
+        assert store.get("cd" * 32) is None
+        assert not alias.exists()
+
+    def test_incompatible_meta_thaws_cold(self, tmp_path):
+        """An entry that loads but references state the net lacks must
+        be dropped and recompiled, not crash."""
+        store = CompileCache(tmp_path)
+        cold = compile_cached(MLP, 4, cache=store)
+        key = cold.compile_report.cache_key
+        meta, arrays = store.get(key)
+        meta["buffers"][0]["shape"] = [9999]
+        store.put(key, meta, arrays)
+        again = compile_cached(MLP, 4, cache=store)
+        assert not again.compile_report.cache_hit
+
+
+class TestStore:
+    def _fake_entry(self, store, key, kb):
+        store.put(key, {"note": "fake"},
+                  {"pad": np.zeros(kb * 256, np.float32)})
+
+    def test_lru_eviction_drops_oldest(self, tmp_path):
+        store = CompileCache(tmp_path, max_bytes=10_000_000)
+        keys = [ch * 64 for ch in "abc"]
+        for i, key in enumerate(keys):
+            self._fake_entry(store, key, 8)
+            os.utime(store.path_for(key), (1000 + i, 1000 + i))
+        store.max_bytes = store.total_bytes() - 1
+        evicted = store.evict()
+        assert evicted == [keys[0]]
+        assert {e.key for e in store.entries()} == set(keys[1:])
+
+    def test_get_touches_mtime(self, tmp_path):
+        store = CompileCache(tmp_path, max_bytes=None)
+        keys = [ch * 64 for ch in "ab"]
+        for i, key in enumerate(keys):
+            self._fake_entry(store, key, 8)
+            os.utime(store.path_for(key), (1000 + i, 1000 + i))
+        assert store.get(keys[0]) is not None  # refresh the older one
+        store.max_bytes = store.total_bytes() - 1
+        assert store.evict() == [keys[1]]
+
+    def test_put_is_size_bounded(self, tmp_path):
+        store = CompileCache(tmp_path, max_bytes=40_000)
+        for ch in "abcd":
+            self._fake_entry(store, ch * 64, 16)
+        assert store.total_bytes() <= 40_000
+        assert len(store.entries()) >= 1
+
+    def test_prune_by_prefix_and_all(self, tmp_path):
+        store = CompileCache(tmp_path, max_bytes=None)
+        self._fake_entry(store, "a" * 64, 1)
+        self._fake_entry(store, "b" * 64, 1)
+        assert store.prune("a") == 1
+        assert store.prune() == 1
+        assert store.entries() == []
+
+    def test_concurrent_writers_leave_valid_entry(self, tmp_path):
+        """Two processes cold-compiling the same key race on the final
+        rename; both write complete files, so whichever wins the entry
+        must thaw."""
+        script = (
+            "import sys\n"
+            "from repro.cache import CompileCache, compile_cached\n"
+            "from repro.models.configs import mlp_config\n"
+            "cfg = mlp_config(hidden=(16, 5), classes=5, input_dim=30)\n"
+            "cnet = compile_cached(cfg, 4, cache=CompileCache(sys.argv[1]))\n"
+            "print(cnet.compile_report.cache_key)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..",
+                                         "src")
+        procs = [
+            subprocess.Popen([sys.executable, "-c", script, str(tmp_path)],
+                             env=env, stdout=subprocess.PIPE, text=True)
+            for _ in range(2)
+        ]
+        keys = []
+        for p in procs:
+            out, _ = p.communicate(timeout=120)
+            assert p.returncode == 0
+            keys.append(out.strip())
+        assert keys[0] == keys[1]
+        store = CompileCache(tmp_path)
+        assert store.get(keys[0]) is not None
+        warm = compile_cached(MLP, 4, cache=store)
+        assert warm.compile_report.cache_hit
+
+
+class TestServingIntegration:
+    @pytest.fixture()
+    def checkpoint(self, tmp_path):
+        seed_all(9)
+        bt = build_latte(MLP, 4)
+        cnet = bt.init(CompilerOptions.level(2))
+        path = str(tmp_path / "model.npz")
+        save_checkpoint(path, cnet, config=MLP, output=bt.output.name)
+        return path
+
+    def test_checkpoint_compile_cache_hit_bitwise(self, tmp_path,
+                                                  checkpoint):
+        ck = load_checkpoint(checkpoint)
+        store = CompileCache(tmp_path / "cache")
+        cold = ck.compile(cache=store)
+        warm = ck.compile(cache=store)
+        assert not cold.compile_report.cache_hit
+        assert warm.compile_report.cache_hit
+        x = np.random.default_rng(1).standard_normal((4, 30)).astype(
+            np.float32)
+        cold.forward(data=x)
+        warm.forward(data=x)
+        np.testing.assert_array_equal(warm.value("ip2"),
+                                      cold.value("ip2"))
+
+    def test_server_counts_hits_and_misses(self, tmp_path, checkpoint):
+        store = CompileCache(tmp_path / "cache")
+        # replica 1 misses and seeds the cache; replica 2 thaws warm
+        server = ModelServer.from_checkpoint(
+            checkpoint, batch_size=4, replicas=2, cache=store)
+        try:
+            r = server.registry
+            assert r.get("serve_compile_cache_hits_total").total() == 1
+            assert r.get("serve_compile_cache_misses_total").total() == 1
+            text = r.render()
+            assert "serve_compile_cache_hits_total" in text
+            assert "serve_compile_cache_age_seconds" in text
+            out = server.predict(np.zeros(30, np.float32), timeout=30)
+            assert out.shape == (5,)
+        finally:
+            server.close()
+
+    def test_server_without_cache_has_no_cache_metrics(self, checkpoint):
+        server = ModelServer.from_checkpoint(checkpoint, batch_size=4)
+        try:
+            assert server.registry.get(
+                "serve_compile_cache_hits_total") is None
+        finally:
+            server.close()
+
+
+class TestCLI:
+    def test_warm_ls_prune(self, tmp_path, capsys):
+        seed_all(9)
+        bt = build_latte(MLP, 4)
+        cnet = bt.init(CompilerOptions.level(2))
+        ck_path = str(tmp_path / "model.npz")
+        save_checkpoint(ck_path, cnet, config=MLP, output=bt.output.name)
+        cache_dir = str(tmp_path / "cache")
+
+        assert cache_main(["--cache-dir", cache_dir, "warm",
+                           "--checkpoint", ck_path]) == 0
+        assert "miss (stored)" in capsys.readouterr().out
+        assert cache_main(["--cache-dir", cache_dir, "warm",
+                           "--checkpoint", ck_path]) == 0
+        assert "hit (already warm)" in capsys.readouterr().out
+
+        assert cache_main(["--cache-dir", cache_dir, "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "mlp" in out and "1 entries" in out
+
+        assert cache_main(["--cache-dir", cache_dir, "prune", "--all"]) == 0
+        assert "pruned 1 entries" in capsys.readouterr().out
+        assert CompileCache(cache_dir).entries() == []
+
+    def test_prune_needs_a_target(self, tmp_path, capsys):
+        assert cache_main(["--cache-dir", str(tmp_path), "prune"]) == 2
