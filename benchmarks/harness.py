@@ -265,3 +265,19 @@ def record_cold_start(payload: Dict[str, object]) -> None:
     with open(COLD_START_JSON, "w") as f:
         json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")
+
+
+# -- compiled C/OpenMP backend -----------------------------------------------
+
+C_BACKEND_JSON = os.path.join(RESULTS_DIR, "BENCH_c_backend.json")
+
+
+def record_c_backend(payload: Dict[str, object]) -> None:
+    """Persist the C-backend smoke measurements (per-model forward and
+    forward+backward medians for the NumPy and native backends, their
+    speedups, native-step coverage, parity verdicts) to
+    ``benchmarks/results/BENCH_c_backend.json``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(C_BACKEND_JSON, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")

@@ -216,6 +216,15 @@ def freeze(cnet) -> Tuple[dict, Dict[str, np.ndarray]]:
         "options": asdict(cnet.options),
         "source": compiled.source,
         "c_source": compiled.c_source,
+        # native-backend rebuild recipe: the executable C source plus
+        # each native step's buffer-argument order; thaw recompiles the
+        # shared object (content-addressed, so usually a disk hit) and
+        # swaps the kernels back in
+        "c_exec": (
+            {"source": compiled.c_exec_source,
+             "steps": {k: list(v) for k, v in compiled.c_steps.items()}}
+            if getattr(cnet.options, "backend", "numpy") == "c" else None
+        ),
         "steps": {
             "forward": [_step_dict(s) for s in compiled.forward],
             "backward": [_step_dict(s) for s in compiled.backward],
@@ -396,6 +405,34 @@ def _rebuild_steps(meta, namespace) -> Tuple[List[Step], List[Step]]:
     return phases[0], phases[1]
 
 
+def _rebind_native(compiled: CompiledProgram, meta: dict) -> None:
+    """Recompile a ``backend='c'`` entry's native program (the build is
+    content-addressed, so an unchanged entry reuses the existing shared
+    object byte-for-byte) and swap the kernels into the step lists."""
+    from repro.codegen import c_backend
+
+    ce = meta.get("c_exec") or {}
+    source = ce.get("source", "")
+    csteps = {k: list(v) for k, v in (ce.get("steps") or {}).items()}
+    compiled.c_exec_source = source
+    compiled.c_steps = csteps
+    if not csteps:
+        return
+    try:
+        so_path = c_backend.compile_shared_object(source)
+    except c_backend.CBackendUnavailable as exc:
+        raise CacheError(f"cannot rebuild native program: {exc}") from exc
+    batch = int(meta["batch_size"])
+    omp = c_backend.omp_threads_for(
+        compiled, batch, int(meta["num_threads"])
+    )
+    fns = c_backend.bind_steps(so_path, csteps, batch, omp)
+    for step in compiled.forward + compiled.backward:
+        fn = fns.get(step.name)
+        if fn is not None:
+            step.fn = fn
+
+
 def _rebuild_report(meta) -> CompileReport:
     """The cold compile's pass record with every wall time zeroed: a
     thaw runs no passes, but keeps the counters for attribution."""
@@ -433,6 +470,8 @@ def thaw(net, meta: dict, arrays: Dict[str, np.ndarray], options, *,
         fwd, bwd = _rebuild_steps(meta, namespace)
         compiled = CompiledProgram(fwd, bwd, meta["source"], closures,
                                    c_source=meta.get("c_source", ""))
+        if meta["options"].get("backend", "numpy") == "c":
+            _rebind_native(compiled, meta)
         report = _rebuild_report(meta)
         return CompiledNet(
             net, plan, compiled, options, tracer=tracer,

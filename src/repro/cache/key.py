@@ -29,13 +29,18 @@ from typing import Optional
 
 import numpy as np
 
-#: the only executable backend today; a future C backend gets its own id
-BACKEND_ID = "python-numpy"
+#: executable backend identifiers (CompilerOptions.backend -> id); the
+#: id is part of the key, so programs compiled for different backends
+#: never collide even though the options dict alone would distinguish
+#: them too
+BACKEND_IDS = {"numpy": "python-numpy", "c": "c-openmp"}
+BACKEND_ID = BACKEND_IDS["numpy"]
 
 #: on-disk entry layout version: readers refuse newer entries and treat
 #: older ones as misses (see repro.cache.store); part of the key, so a
-#: bump simply stops matching old files instead of misreading them
-FORMAT_VERSION = 1
+#: bump simply stops matching old files instead of misreading them.
+#: v2: entries may carry a ``c_exec`` native-program rebuild recipe
+FORMAT_VERSION = 2
 
 
 class CacheUnsupported(ValueError):
@@ -96,7 +101,7 @@ def cache_key(builder: dict, batch_size: int, options, num_threads: int,
         "num_threads": int(num_threads),
         "keep_alive": (sorted(str(k) for k in keep_alive)
                        if keep_alive is not None else "default"),
-        "backend": BACKEND_ID,
+        "backend": BACKEND_IDS[getattr(options, "backend", "numpy")],
         "repro_version": repro.__version__,
         "numpy_version": np.__version__,
         "format_version": FORMAT_VERSION,

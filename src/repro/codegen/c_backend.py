@@ -1,19 +1,79 @@
-"""C++/OpenMP rendering of the optimized program.
+"""C/OpenMP backend: paper-style rendering *and* native execution.
 
-The paper presents synthesized code as C++ with OpenMP pragmas and
-simplified ``gemm`` calls (Figures 9, 10, 12). This backend renders the
-*same* post-optimization schedule in that form — for inspection, golden
-tests, and documentation. It is not executed; the executable backend is
-:mod:`repro.codegen.python_backend`.
+Two artifacts come out of this module:
+
+* :func:`render_items` — the C++/OpenMP *rendering* the paper presents
+  (Figures 9, 10, 12): the post-optimization schedule printed with
+  symbolic loop bounds and ``gemm(...)`` calls. Used for inspection,
+  golden tests, and documentation; never compiled.
+
+* the **executable native backend** (``CompilerOptions(backend="c")``):
+  every fused step is lowered to a standalone C function, the whole
+  program is compiled once with the system toolchain (``cc`` →
+  shared object) and loaded via :mod:`ctypes`. Buffers stay NumPy-owned
+  — each step receives raw ``float*`` pointers into the executor's
+  buffer table, so checkpoints, the memory planner's arena offsets,
+  tracer spans, and ``rebind_buffer`` keep working unchanged.
+
+The native lowering contract:
+
+* one exported C function per fused step, named exactly like its Python
+  twin (``_step_f0``, ``_step_b3``, ...), with the signature
+  ``void step(float* <buf>, ..., long long _b0, long long _b1,
+  long long _omp)`` where the buffer pointers are the step's touched
+  buffers in sorted-name order and ``_b0/_b1`` are the same batch-shard
+  bounds the threaded Python backend's step functions take;
+* scalar :class:`~repro.ir.Assign` units become plain loop nests over
+  flat row-major offsets (strides baked in at compile time from the
+  buffer plan), with value arithmetic performed in ``double`` and
+  results stored as ``float`` — mirroring the O0 interpreter's
+  float64-compute/float32-store behaviour;
+* pattern-matched :class:`~repro.ir.Gemm` units become loop nests over
+  the matched einsum letters — free (output) letters outer, contraction
+  letters inner — accumulating into a local ``double`` with
+  ``#pragma omp simd reduction`` on the innermost contraction loop;
+* batch-disjoint outer loops carry ``#pragma omp parallel for``
+  guarded by the per-call ``_omp`` thread count, which the binder pins
+  to 1 whenever the executor itself shards batches across threads (no
+  oversubscription, and bitwise-reproducible at 1 thread);
+* any step the lowering cannot express (extern closures such as
+  softmax-loss, or exotic index forms) silently keeps its Python step
+  function — programs are hybrid by construction.
+
+Steps that stay Python are recorded with a reason in
+``CompiledProgram.c_skipped`` for diagnostics and tests.
 """
 
 from __future__ import annotations
 
-from typing import List
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
 
-from repro.ir import CommCall, For
+import numpy as np
+
+from repro.ir import (
+    Assign,
+    BinOp,
+    Call,
+    CommCall,
+    Compare,
+    Const,
+    ExternOp,
+    For,
+    Gemm,
+    Index,
+    SliceExpr,
+    UnaryOp,
+    Var,
+)
 from repro.ir.printer import to_c
-from repro.synthesis.units import FusedGroup, unit_to_for_tree
+from repro.synthesis.units import FusedGroup, LoopUnit, unit_to_for_tree
 
 
 def render_items(items, title: str = "") -> str:
@@ -43,3 +103,1056 @@ def render_items(items, title: str = "") -> str:
         else:
             out.extend(to_c(t) for t in trees)
     return "\n".join(out) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Native backend: toolchain detection and shared-object builds
+# ---------------------------------------------------------------------------
+
+class CBackendUnavailable(RuntimeError):
+    """No working C toolchain (or a build failed); carries the reason."""
+
+
+class _Unlowerable(Exception):
+    """Internal: this step cannot be expressed in C; keep its Python fn."""
+
+
+_F32 = np.dtype(np.float32)
+
+#: params/locals we must never collide with, plus C keywords a user's
+#: ensemble name could accidentally spell
+_C_RESERVED = frozenset("""
+auto break case char const continue default do double else enum extern
+float for goto if inline int long register restrict return short signed
+sizeof static struct switch typedef union unsigned void volatile while
+_b0 _b1 _omp _acc _pa _pb _pc _M _N _K _v _t
+""".split())
+
+_BASE_FLAGS = ["-O3", "-fPIC", "-shared"]
+_EXTRA_FLAGS = ["-march=native", "-fopenmp"]
+
+_PROBE_SRC = (
+    "int latte_probe(int x) {\n"
+    "  double s = 0;\n"
+    "  #pragma omp parallel for reduction(+:s)\n"
+    "  for (int i = 0; i < x; i++) s += i;\n"
+    "  return (int)s;\n"
+    "}\n"
+)
+
+#: memoized toolchain probe: {'cc': path, 'flags': [...], 'why': str}
+_toolchain: Optional[Dict] = None
+#: dlopen cache: .so path -> ctypes.CDLL
+_dll_cache: Dict[str, ctypes.CDLL] = {}
+
+
+def build_dir() -> Path:
+    """Directory for compiled shared objects (content-addressed, so
+    identical generated source is never compiled twice). Override with
+    ``REPRO_CBUILD_DIR``."""
+    env = os.environ.get("REPRO_CBUILD_DIR", "").strip()
+    if env:
+        p = Path(env)
+    else:
+        cache = os.environ.get("XDG_CACHE_HOME", "").strip()
+        base = Path(cache) if cache else Path.home() / ".cache"
+        p = base / "repro" / "cbuild"
+    try:
+        p.mkdir(parents=True, exist_ok=True)
+        return p
+    except OSError:
+        fallback = Path(tempfile.gettempdir()) / "repro-cbuild"
+        fallback.mkdir(parents=True, exist_ok=True)
+        return fallback
+
+
+def _find_compiler() -> Optional[str]:
+    for cand in (os.environ.get("CC", "").strip() or None, "cc", "gcc",
+                 "clang"):
+        if cand:
+            path = shutil.which(cand)
+            if path:
+                return path
+    return None
+
+
+def _try_compile(cc: str, flags: List[str], src: Path, out: Path) -> bool:
+    try:
+        proc = subprocess.run(
+            [cc, *flags, str(src), "-o", str(out), "-lm"],
+            capture_output=True, timeout=120,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return False
+    return proc.returncode == 0 and out.exists()
+
+
+def _probe_toolchain() -> Dict:
+    """Find a compiler and the widest flag set it accepts (memoized)."""
+    global _toolchain
+    if _toolchain is not None:
+        return _toolchain
+    cc = _find_compiler()
+    if cc is None:
+        _toolchain = {"cc": None, "flags": [],
+                      "why": "no C compiler found ($CC, cc, gcc, clang)"}
+        return _toolchain
+    with tempfile.TemporaryDirectory(prefix="repro-ccheck-") as td:
+        src = Path(td) / "probe.c"
+        src.write_text(_PROBE_SRC)
+        # drop optional flags one at a time until a combination works
+        for n_extra in range(len(_EXTRA_FLAGS), -1, -1):
+            flags = _BASE_FLAGS + _EXTRA_FLAGS[:n_extra]
+            if _try_compile(cc, flags, src, Path(td) / f"probe{n_extra}.so"):
+                _toolchain = {"cc": cc, "flags": flags, "why": ""}
+                return _toolchain
+    _toolchain = {"cc": cc, "flags": [],
+                  "why": f"{cc} failed to build a trivial shared object"}
+    return _toolchain
+
+
+def have_c_toolchain() -> bool:
+    """True when a compiler capable of building our kernels is present."""
+    return _probe_toolchain()["cc"] is not None and not _probe_toolchain()["why"]
+
+
+def toolchain_error() -> str:
+    """Human-readable reason :func:`have_c_toolchain` returned False."""
+    info = _probe_toolchain()
+    return info["why"] or "toolchain available"
+
+
+def compile_shared_object(source: str) -> str:
+    """Compile generated C ``source`` to a shared object; returns its path.
+
+    Builds are content-addressed on (source, compiler, flags): recompiling
+    an identical program — e.g. a cache thaw, or the second oracle run of
+    a determinism check — reuses the existing ``.so`` byte-for-byte.
+    """
+    info = _probe_toolchain()
+    if not info["cc"] or info["why"]:
+        raise CBackendUnavailable(
+            f"C backend unavailable: {toolchain_error()}"
+        )
+    tag = hashlib.sha256(
+        "\x00".join([source, info["cc"], " ".join(info["flags"])]).encode()
+    ).hexdigest()[:24]
+    d = build_dir()
+    so = d / f"latte_{tag}.so"
+    if so.exists():
+        return str(so)
+    csrc = d / f"latte_{tag}.c"
+    csrc.write_text(source)
+    tmp = d / f".latte_{tag}.{os.getpid()}.so"
+    proc = subprocess.run(
+        [info["cc"], *info["flags"], str(csrc), "-o", str(tmp), "-lm"],
+        capture_output=True, timeout=300,
+    )
+    if proc.returncode != 0 or not tmp.exists():
+        stderr = proc.stderr.decode(errors="replace")[-2000:]
+        raise CBackendUnavailable(
+            f"C backend build failed (source kept at {csrc}):\n{stderr}"
+        )
+    os.replace(tmp, so)  # atomic: concurrent builders converge
+    return str(so)
+
+
+#: memoized cblas_sgemm lookup: None = not found, (addr, ilp64) = found;
+#: the CDLL is pinned in _cblas_dll so the symbol address stays valid
+_cblas_probed = False
+_cblas_info: Optional[Tuple[int, int]] = None
+_cblas_dll: Optional[ctypes.CDLL] = None
+
+
+def _find_cblas() -> Optional[Tuple[int, int]]:
+    """Locate a ``cblas_sgemm`` in the BLAS NumPy bundles (memoized).
+
+    Returns ``(address, ilp64)`` or None. Packed GEMMs then run on the
+    very library the NumPy backend's einsum/tensordot calls use — same
+    kernels, same rounding — instead of the self-contained fallback.
+    ``REPRO_C_NO_BLAS=1`` disables the lookup (fallback-kernel testing).
+    """
+    global _cblas_probed, _cblas_info, _cblas_dll
+    if _cblas_probed:
+        return _cblas_info
+    _cblas_probed = True
+    if os.environ.get("REPRO_C_NO_BLAS", "").strip():
+        return None
+    import glob
+
+    libs_dir = Path(np.__file__).resolve().parent.parent / "numpy.libs"
+    candidates = sorted(glob.glob(str(libs_dir / "*openblas*"))) + sorted(
+        set(glob.glob(str(libs_dir / "*blas*")))
+        - set(glob.glob(str(libs_dir / "*openblas*")))
+    )
+    for path in candidates:
+        try:
+            dll = ctypes.CDLL(path)
+        except OSError:
+            continue
+        for sym, ilp64 in (("scipy_cblas_sgemm64_", 1),
+                           ("cblas_sgemm64_", 1), ("cblas_sgemm", 0)):
+            fn = getattr(dll, sym, None)
+            if fn is not None:
+                _cblas_dll = dll
+                _cblas_info = (ctypes.cast(fn, ctypes.c_void_p).value,
+                               ilp64)
+                return _cblas_info
+    return None
+
+
+def _load(so_path: str) -> ctypes.CDLL:
+    dll = _dll_cache.get(so_path)
+    if dll is None:
+        dll = ctypes.CDLL(so_path)
+        setter = getattr(dll, "latte_set_sgemm", None)
+        if setter is not None:
+            info = _find_cblas()
+            if info is not None:
+                setter.argtypes = [ctypes.c_void_p, ctypes.c_int]
+                setter.restype = None
+                setter(ctypes.c_void_p(info[0]), ctypes.c_int(info[1]))
+        _dll_cache[so_path] = dll
+    return dll
+
+
+# ---------------------------------------------------------------------------
+# Native backend: expression lowering
+# ---------------------------------------------------------------------------
+
+_CMP = {"==": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+#: value-context intrinsics -> C spelling (all double-precision)
+_C_FUNCS = {
+    "exp": "exp", "log": "log", "sqrt": "sqrt", "tanh": "tanh",
+    "abs": "fabs", "sigmoid": "_sigmoid",
+}
+
+
+def _int_const(e: Const) -> int:
+    v = e.value
+    if isinstance(v, bool) or not isinstance(v, (int, float)):
+        raise _Unlowerable(f"non-numeric index constant {v!r}")
+    if isinstance(v, float):
+        if not v.is_integer():
+            raise _Unlowerable(f"fractional index constant {v!r}")
+        v = int(v)
+    return v
+
+
+def _ri(e) -> str:
+    """Render an integer-context expression (indices, loop bounds)."""
+    if isinstance(e, Const):
+        return f"{_int_const(e)}LL"
+    if isinstance(e, Var):
+        return e.name
+    if isinstance(e, BinOp):
+        a, b = _ri(e.left), _ri(e.right)
+        if e.op in ("+", "-", "*"):
+            return f"({a} {e.op} {b})"
+        if e.op == "//":
+            return f"_ll_fdiv({a}, {b})"
+        if e.op == "%":
+            return f"_ll_fmod({a}, {b})"
+        raise _Unlowerable(f"integer op {e.op!r}")
+    if isinstance(e, UnaryOp) and e.op == "-":
+        return f"(-{_ri(e.operand)})"
+    if isinstance(e, Call) and e.func in ("min", "max") and len(e.args) >= 2:
+        fn = "_ll_min" if e.func == "min" else "_ll_max"
+        out = _ri(e.args[0])
+        for arg in e.args[1:]:
+            out = f"{fn}({out}, {_ri(arg)})"
+        return out
+    raise _Unlowerable(f"index expression {type(e).__name__}")
+
+
+def _strides(shape: Tuple[int, ...]) -> List[int]:
+    out, acc = [], 1
+    for d in reversed(shape):
+        out.append(acc)
+        acc *= d
+    return list(reversed(out))
+
+
+class _Frame:
+    """Per-step lowering context: buffer shapes and touched-buffer set."""
+
+    def __init__(self, shapes: Dict[str, Tuple[int, ...]]):
+        self.shapes = shapes
+        self.used: set = set()
+
+    def flat(self, buffer: str, index_exprs: List[str]) -> str:
+        """Row-major flat offset of one element, strides baked in."""
+        shape = self.shapes.get(buffer)
+        if shape is None:
+            raise _Unlowerable(f"buffer {buffer!r} not in plan")
+        if buffer in _C_RESERVED or not buffer.isidentifier():
+            raise _Unlowerable(f"buffer name {buffer!r} not a C identifier")
+        if len(index_exprs) != len(shape):
+            raise _Unlowerable(
+                f"{buffer}: rank mismatch ({len(index_exprs)} indices, "
+                f"shape {shape})"
+            )
+        self.used.add(buffer)
+        terms = [
+            ix if st == 1 else f"({ix}) * {st}LL"
+            for ix, st in zip(index_exprs, _strides(shape))
+        ]
+        return " + ".join(terms) or "0"
+
+    def load(self, ref: Index) -> str:
+        idx = [_ri(ix) for ix in ref.indices]
+        return f"(double){ref.buffer}[{self.flat(ref.buffer, idx)}]"
+
+
+def _rv(e, fr: _Frame) -> str:
+    """Render a value-context expression: computed in double precision."""
+    if isinstance(e, Const):
+        v = e.value
+        if isinstance(v, bool):
+            return "1.0" if v else "0.0"
+        if isinstance(v, int):
+            return f"{v}.0"
+        if isinstance(v, float):
+            if v != v:
+                return "NAN"
+            if v == float("inf"):
+                return "INFINITY"
+            if v == float("-inf"):
+                return "(-INFINITY)"
+            return repr(v)
+        raise _Unlowerable(f"constant {v!r}")
+    if isinstance(e, Var):
+        return f"(double){e.name}"
+    if isinstance(e, Index):
+        return fr.load(e)
+    if isinstance(e, BinOp):
+        a, b = _rv(e.left, fr), _rv(e.right, fr)
+        if e.op in ("+", "-", "*", "/"):
+            return f"({a} {e.op} {b})"
+        if e.op == "//":
+            return f"floor({a} / {b})"
+        if e.op == "%":
+            return f"_py_fmod({a}, {b})"
+        if e.op == "**":
+            return f"pow({a}, {b})"
+        raise _Unlowerable(f"value op {e.op!r}")
+    if isinstance(e, UnaryOp) and e.op == "-":
+        return f"(-{_rv(e.operand, fr)})"
+    if isinstance(e, Compare):
+        op = _CMP.get(e.op)
+        if op is None:
+            raise _Unlowerable(f"comparison {e.op!r}")
+        return f"({_rv(e.left, fr)} {op} {_rv(e.right, fr)})"
+    if isinstance(e, Call):
+        if e.func == "where" and len(e.args) == 3:
+            c, a, b = (_rv(x, fr) for x in e.args)
+            return f"(({c}) ? ({a}) : ({b}))"
+        if e.func in ("min", "max") and len(e.args) >= 2:
+            fn = "_d_min" if e.func == "min" else "_d_max"
+            out = _rv(e.args[0], fr)
+            for arg in e.args[1:]:
+                out = f"{fn}({out}, {_rv(arg, fr)})"
+            return out
+        fn = _C_FUNCS.get(e.func)
+        if fn is None or len(e.args) != 1:
+            raise _Unlowerable(f"call {e.func!r}/{len(e.args)}")
+        return f"{fn}({_rv(e.args[0], fr)})"
+    raise _Unlowerable(f"value expression {type(e).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Native backend: statement and step lowering
+# ---------------------------------------------------------------------------
+
+def _open_loop(sp, lines: List[str], depth: int, pragma: str = "") -> int:
+    pad = "  " * depth
+    if pragma:
+        lines.append(f"{pad}{pragma}")
+    lines.append(
+        f"{pad}for (long long {sp.var} = {_ri(sp.start)}; "
+        f"{sp.var} < {_ri(sp.stop)}; {sp.var}++) {{"
+    )
+    return depth + 1
+
+
+def _close_loops(lines: List[str], depth: int, down_to: int) -> None:
+    for d in range(depth - 1, down_to - 1, -1):
+        lines.append("  " * d + "}")
+
+
+_PAR_PRAGMA = (
+    "#pragma omp parallel for schedule(static) "
+    "num_threads((int)_omp) if (_omp > 1)"
+)
+
+
+def _target_disjoint_vars(target: Index) -> set:
+    """Loop vars the target's indices scalar-depend on: iterations of
+    such a loop write disjoint elements, so it can be parallelized."""
+    from repro.ir import free_vars, walk_exprs
+
+    out: set = set()
+    for ix in target.indices:
+        if any(isinstance(e, Index) for e in walk_exprs(ix)):
+            return set()  # indirect target: rows may collide
+        out |= free_vars(ix)
+    return out
+
+
+def _emit_assign(unit: LoopUnit, fr: _Frame, lines: List[str],
+                 depth: int) -> None:
+    stmt = unit.stmt
+    tgt = stmt.target
+    if not isinstance(tgt, Index):
+        raise _Unlowerable("non-buffer assignment target")
+    if any(isinstance(ix, (SliceExpr,)) for ix in tgt.indices):
+        raise _Unlowerable("sliced assignment target")
+    disjoint = _target_disjoint_vars(tgt)
+    top = depth
+    for i, sp in enumerate(unit.loops):
+        pragma = _PAR_PRAGMA if (i == 0 and sp.var in disjoint) else ""
+        depth = _open_loop(sp, lines, depth, pragma)
+    pad = "  " * depth
+    idx = [_ri(ix) for ix in tgt.indices]
+    ref = f"{tgt.buffer}[{fr.flat(tgt.buffer, idx)}]"
+    rhs = _rv(stmt.value, fr)
+    if stmt.reduce is None:
+        lines.append(f"{pad}{ref} = (float)({rhs});")
+    elif stmt.reduce == "add":
+        lines.append(f"{pad}{ref} = (float)((double){ref} + {rhs});")
+    elif stmt.reduce == "mul":
+        lines.append(f"{pad}{ref} = (float)((double){ref} * {rhs});")
+    elif stmt.reduce in ("max", "min"):
+        cmp = ">=" if stmt.reduce == "max" else "<="
+        lines.append(f"{pad}{{ double _v = {rhs}; "
+                     f"double _t = (double){ref}; "
+                     f"{ref} = (float)((_t {cmp} _v) ? _t : _v); }}")
+    else:
+        raise _Unlowerable(f"reduce {stmt.reduce!r}")
+    _close_loops(lines, depth, top)
+
+
+def _classify_gemm(stmt: Gemm):
+    """Shared Gemm analysis for both lowering strategies.
+
+    ``var_axes`` records, for every matched loop variable, which
+    (operand, axis) pairs it was sliced into; the slice expressions on
+    those axes carry the variable's absolute iteration range — including
+    tile sub-ranges after tiling and ``_b0/_b1`` after shard
+    parameterization. Returns ``(refs, owner, ranges, slices, free,
+    contract)`` where ``free`` letters index the output, ``contract``
+    letters are summed over, and ``slices`` keeps each letter's
+    SliceExpr for compile-time extent analysis.
+    """
+    if not stmt.var_axes or not stmt.var_loops:
+        raise _Unlowerable("gemm without matched loop metadata")
+    refs = {"a": stmt.a, "b": stmt.b, "c": stmt.c}
+    owner: Dict[Tuple[str, int], str] = {}
+    ranges: Dict[str, Tuple[str, str]] = {}
+    slices: Dict[str, SliceExpr] = {}
+    free: List[str] = []
+    contract: List[str] = []
+    for var in stmt.var_loops:
+        entries = stmt.var_axes.get(var)
+        if not entries:
+            raise _Unlowerable(f"gemm var {var!r} lost its axes")
+        rk, ax = entries[0]
+        sl = refs[rk].indices[ax]
+        if not isinstance(sl, SliceExpr):
+            raise _Unlowerable(f"gemm var {var!r}: axis not a slice")
+        step = sl.step
+        if not (isinstance(step, Const) and step.value == 1):
+            raise _Unlowerable("strided gemm slice")
+        ranges[var] = (_ri(sl.start), _ri(sl.stop))
+        slices[var] = sl
+        for rk2, ax2 in entries:
+            owner[(rk2, ax2)] = var
+        if any(k == "c" for k, _ in entries):
+            free.append(var)
+        else:
+            contract.append(var)
+    return refs, owner, ranges, slices, free, contract
+
+
+def _gemm_flat(refs, owner, fr: _Frame, rk: str) -> str:
+    """Flat offset of operand ``rk`` with matched axes replaced by their
+    loop variables and remaining axes rendered as scalar expressions."""
+    ref = refs[rk]
+    idx = []
+    for ax, ix in enumerate(ref.indices):
+        var = owner.get((rk, ax))
+        if var is not None:
+            idx.append(var)
+        elif isinstance(ix, (SliceExpr,)):
+            raise _Unlowerable("unmatched gemm slice axis")
+        else:
+            idx.append(_ri(ix))
+    return fr.flat(ref.buffer, idx)
+
+
+def _gemm_packable(stmt: Gemm, free: List[str],
+                   contract: List[str]) -> bool:
+    """True when the Gemm maps onto one packed row-major sgemm call:
+    there is a real contraction and no output letter spans both
+    operands (a letter in A and B and C is a batched-diagonal pattern
+    sgemm cannot express)."""
+    if not contract:
+        return False
+    for var in free:
+        kinds = {rk for rk, _ in stmt.var_axes[var]}
+        if "a" in kinds and "b" in kinds:
+            return False
+    return True
+
+
+def _int_extent(sl: SliceExpr) -> Optional[int]:
+    """Compile-time extent of a matched slice, or None when the bounds
+    are runtime expressions (shard/tile sub-ranges)."""
+    if isinstance(sl.start, Const) and isinstance(sl.stop, Const):
+        return _int_const(sl.stop) - _int_const(sl.start)
+    return None
+
+
+def _rm_layout(outer: List[str], inner: List[str], stride: Dict[str, int],
+               slices) -> Optional[int]:
+    """Leading dimension when letters read as ``[outer..., inner...]``
+    match the operand's row-major layout — the inner letters form one
+    contiguous mixed-radix index and the outer letters advance by a
+    single stride — else None. Inner extents (and all outer extents but
+    the first) must be compile-time."""
+    width = 1
+    for v in inner:
+        ex = _int_extent(slices[v])
+        if ex is None:
+            return None
+        width *= ex
+    acc = 1
+    for v in reversed(inner):
+        if stride[v] != acc:
+            return None
+        acc *= _int_extent(slices[v])
+    if not outer:
+        return width
+    ld = stride[outer[-1]]
+    if ld < width:
+        return None
+    for j in range(len(outer) - 2, -1, -1):
+        ex = _int_extent(slices[outer[j + 1]])
+        if ex is None or stride[outer[j]] != stride[outer[j + 1]] * ex:
+            return None
+    return ld
+
+
+def _try_passthrough(rk: str, rows: List[str], cols: List[str], refs,
+                     owner, slices, fr: _Frame, allow_trans: bool = True):
+    """Can operand ``rk`` be handed to sgemm in place?
+
+    True when its matched letters map onto the buffer's row-major
+    layout either as ``[rows..., cols...]`` (NoTrans) or as
+    ``[cols..., rows...]`` (Trans, for A/B only — cblas cannot
+    transpose C). Returns ``(base_expr, ld_expr, trans)`` — a
+    pointer-offset expression (letters pinned at their lower bounds),
+    the leading dimension, and the transpose flag — or None when the
+    operand must be gathered into scratch (replicated letters, strided
+    or scattered layouts, runtime inner extents).
+    """
+    from repro.ir import free_vars
+
+    ref = refs[rk]
+    shape = fr.shapes.get(ref.buffer)
+    if shape is None or len(shape) != len(ref.indices):
+        return None
+    strides = _strides(shape)
+    axes_of: Dict[str, List[int]] = {}
+    for (rk2, ax), v in owner.items():
+        if rk2 == rk:
+            axes_of.setdefault(v, []).append(ax)
+    matched = set(owner.values())
+    for v in rows + cols:
+        if len(axes_of.get(v, [])) != 1:
+            return None  # replicated (broadcast) or diagonal letter
+    for ax, ix in enumerate(ref.indices):
+        if owner.get((rk, ax)) is None:
+            if isinstance(ix, SliceExpr):
+                return None
+            try:
+                if free_vars(ix) & matched:
+                    return None
+            except Exception:
+                return None
+    stride = {v: strides[axes_of[v][0]] for v in rows + cols}
+    ld = _rm_layout(rows, cols, stride, slices)
+    trans = 0
+    if ld is None and allow_trans:
+        ld = _rm_layout(cols, rows, stride, slices)
+        trans = 1
+    if ld is None:
+        return None
+    idx = []
+    for ax, ix in enumerate(ref.indices):
+        v = owner.get((rk, ax))
+        idx.append(f"_lo_{v}" if v is not None else _ri(ix))
+    base = fr.flat(ref.buffer, idx)
+    return f"{ref.buffer} + ({base})", f"{ld}LL", trans
+
+
+def _emit_gemm_packed(unit: LoopUnit, fr: _Frame, lines: List[str],
+                      depth: int, refs, owner, ranges, slices,
+                      free: List[str], contract: List[str]) -> None:
+    """Lower a Gemm as (gather) → ``_latte_gemm_rm`` → (scatter).
+
+    Operands already laid out row-major over their letters are passed
+    to sgemm in place (pointer + leading dimension); the rest are
+    gathered into contiguous scratch first — an O(M·K + K·N + M·N)
+    copy, negligible next to the O(M·N·K) contraction. The multiply
+    itself then runs as one library sgemm — the exact BLAS NumPy uses,
+    injected at load time — or the blocked fallback when no BLAS is
+    present. Should scratch allocation ever fail, the strided loop
+    nest runs in place.
+    """
+    stmt = unit.stmt
+    m_vars = [v for v in free
+              if "b" not in {rk for rk, _ in stmt.var_axes[v]}]
+    n_vars = [v for v in free if v not in m_vars]
+
+    def extent_product(vars_: List[str]) -> str:
+        return " * ".join(f"_ex_{v}" for v in vars_) if vars_ else "1LL"
+
+    def lin(vars_: List[str]) -> str:
+        if not vars_:
+            return "0"
+        expr = f"({vars_[0]} - _lo_{vars_[0]})"
+        for v in vars_[1:]:
+            expr = f"({expr} * _ex_{v} + ({v} - _lo_{v}))"
+        return expr
+
+    def open_var_loops(vars_: List[str], d: int) -> int:
+        for v in vars_:
+            lines.append(f"{'  ' * d}for (long long {v} = _lo_{v}; "
+                         f"{v} < _lo_{v} + _ex_{v}; {v}++) {{")
+            d += 1
+        return d
+
+    layout = {"a": (m_vars, contract, "_K"), "b": (contract, n_vars, "_N"),
+              "c": (m_vars, n_vars, "_N")}
+    direct = {rk: _try_passthrough(rk, rows, cols, refs, owner, slices,
+                                   fr, allow_trans=(rk != "c"))
+              for rk, (rows, cols, _) in layout.items()}
+    packed = [rk for rk in ("a", "b", "c") if direct[rk] is None]
+
+    top = depth
+    # the unit's own loops (e.g. a tile loop the tiler pushed inside)
+    for sp in unit.loops:
+        depth = _open_loop(sp, lines, depth)
+    pad = "  " * depth
+    lines.append(pad + "{")
+    depth += 1
+    pad = "  " * depth
+    for v in m_vars + n_vars + contract:
+        lo, hi = ranges[v]
+        lines.append(f"{pad}const long long _lo_{v} = {lo};")
+        lines.append(f"{pad}const long long _ex_{v} = ({hi}) - ({lo});")
+    lines.append(f"{pad}const long long _M = {extent_product(m_vars)};")
+    lines.append(f"{pad}const long long _N = {extent_product(n_vars)};")
+    lines.append(f"{pad}const long long _K = {extent_product(contract)};")
+    sizes = {"a": "_M * _K", "b": "_K * _N", "c": "_M * _N"}
+    for rk in packed:
+        lines.append(
+            f"{pad}float *_p{rk} = "
+            f"(float *)malloc((size_t)({sizes[rk]}) * sizeof(float));")
+    args = {}
+    for rk in ("a", "b", "c"):
+        if direct[rk] is not None:
+            base, ld, trans = direct[rk]
+            args[rk] = (f"({base})", ld, trans)
+        else:
+            args[rk] = (f"_p{rk}", layout[rk][2], 0)
+    if packed:
+        guard = " && ".join(f"_p{rk}" for rk in packed)
+        lines.append(f"{pad}if ({guard}) {{")
+        body = depth + 1
+    else:
+        body = depth
+    bpad = "  " * body
+
+    def gather(rk: str) -> None:
+        rows, cols, ldname = layout[rk]
+        d = open_var_loops(rows + cols, body)
+        lines.append(
+            f"{'  ' * d}_p{rk}[{lin(rows)} * {ldname} + {lin(cols)}] = "
+            f"{refs[rk].buffer}[{_gemm_flat(refs, owner, fr, rk)}];")
+        _close_loops(lines, d, body)
+
+    for rk in ("a", "b"):
+        if direct[rk] is None:
+            gather(rk)
+    if direct["c"] is None and stmt.accumulate:
+        gather("c")
+    lines.append(
+        f"{bpad}_latte_gemm_rm(_M, _N, _K, {args['a'][0]}, {args['a'][1]},"
+        f" {args['a'][2]}, {args['b'][0]}, {args['b'][1]},"
+        f" {args['b'][2]}, {args['c'][0]}, {args['c'][1]},"
+        f" {1 if stmt.accumulate else 0}, _omp);")
+    if direct["c"] is None:
+        d = open_var_loops(m_vars + n_vars, body)
+        lines.append(
+            f"{'  ' * d}{stmt.c.buffer}"
+            f"[{_gemm_flat(refs, owner, fr, 'c')}] = "
+            f"_pc[{lin(m_vars)} * _N + {lin(n_vars)}];")
+        _close_loops(lines, d, body)
+    if packed:
+        lines.append(f"{pad}}} else {{")
+        _emit_gemm_loop_body(unit, fr, lines, depth + 1, refs, owner,
+                             ranges, free, contract)
+        lines.append(f"{pad}}}")
+        frees = " ".join(f"free(_p{rk});" for rk in packed)
+        lines.append(f"{pad}{frees}")
+    depth -= 1
+    lines.append("  " * depth + "}")
+    _close_loops(lines, depth, top)
+
+
+def _emit_gemm(unit: LoopUnit, fr: _Frame, lines: List[str],
+               depth: int) -> None:
+    """Lower a pattern-matched Gemm: packed-sgemm form when the letter
+    structure allows it, strided loop nest otherwise."""
+    stmt = unit.stmt
+    refs, owner, ranges, slices, free, contract = _classify_gemm(stmt)
+    fr.used.add(stmt.c.buffer)
+    if _gemm_packable(stmt, free, contract):
+        _emit_gemm_packed(unit, fr, lines, depth, refs, owner, ranges,
+                          slices, free, contract)
+        return
+    top = depth
+    for sp in unit.loops:
+        depth = _open_loop(sp, lines, depth)
+    _emit_gemm_loop_body(unit, fr, lines, depth, refs, owner, ranges,
+                         free, contract)
+    _close_loops(lines, depth, top)
+
+
+def _emit_gemm_loop_body(unit: LoopUnit, fr: _Frame, lines: List[str],
+                         depth: int, refs, owner, ranges,
+                         free: List[str], contract: List[str]) -> None:
+    """The strided loop-nest Gemm lowering (no packing): free letters
+    outer, contraction letters inner around a double accumulator. Used
+    for letter structures sgemm cannot express and as the in-place
+    branch when scratch allocation fails."""
+    stmt = unit.stmt
+
+    def flat(rk: str) -> str:
+        return _gemm_flat(refs, owner, fr, rk)
+
+    top = depth
+    for i, var in enumerate(free):
+        lo, hi = ranges[var]
+        pragma = _PAR_PRAGMA if i == 0 else ""
+        if pragma:
+            lines.append("  " * depth + pragma)
+        lines.append(
+            f"{'  ' * depth}for (long long {var} = {lo}; "
+            f"{var} < {hi}; {var}++) {{"
+        )
+        depth += 1
+    pad = "  " * depth
+    a, b = f"(double){stmt.a.buffer}[{flat('a')}]", \
+        f"(double){stmt.b.buffer}[{flat('b')}]"
+    fr.used.add(stmt.c.buffer)
+    if contract:
+        lines.append(f"{pad}double _acc = 0.0;")
+        inner = depth
+        for i, var in enumerate(contract):
+            lo, hi = ranges[var]
+            if i == len(contract) - 1:
+                lines.append("  " * inner + "#pragma omp simd reduction(+:_acc)")
+            lines.append(
+                f"{'  ' * inner}for (long long {var} = {lo}; "
+                f"{var} < {hi}; {var}++) {{"
+            )
+            inner += 1
+        lines.append("  " * inner + f"_acc += {a} * {b};")
+        _close_loops(lines, inner, depth)
+    else:
+        lines.append(f"{pad}double _acc = {a} * {b};")
+    c = f"{stmt.c.buffer}[{flat('c')}]"
+    if stmt.accumulate:
+        lines.append(f"{pad}{c} = (float)((double){c} + _acc);")
+    else:
+        lines.append(f"{pad}{c} = (float)_acc;")
+    _close_loops(lines, depth, top)
+
+
+def _emit_unit_c(unit: LoopUnit, fr: _Frame, lines: List[str],
+                 depth: int) -> None:
+    stmt = unit.stmt
+    if isinstance(stmt, ExternOp):
+        raise _Unlowerable(f"extern closure {stmt.fn_key!r}")
+    if isinstance(stmt, Gemm):
+        _emit_gemm(unit, fr, lines, depth)
+    elif isinstance(stmt, Assign):
+        _emit_assign(unit, fr, lines, depth)
+    else:
+        raise _Unlowerable(f"statement {type(stmt).__name__}")
+
+
+def env_shape(plan, spec, time_steps: int) -> Tuple[int, ...]:
+    """Shape of the array a step function sees in its env for ``spec`` —
+    the allocated shape minus the leading time axis the executor strips
+    for time-unrolled nets (it binds per-``t`` views), with alias
+    reshapes applied (mirrors ``buffers.allocate`` + ``_base_env``)."""
+    from repro.synthesis.liveness import full_shape
+
+    fs = full_shape(plan, spec)
+    if spec.alias_reshape is not None:
+        n_lead = max(len(fs) - len(spec.shape), 0)
+        fs = fs[:n_lead] + tuple(spec.alias_reshape)
+    if time_steps > 1 and spec.batched and spec.array is None:
+        fs = fs[1:]
+    return tuple(int(d) for d in fs)
+
+
+def _emit_step(group: FusedGroup, name: str,
+               shapes: Dict[str, Tuple[int, ...]],
+               lines_out: List[str]) -> List[str]:
+    """Emit one step function; returns its buffer-argument name order.
+
+    Raises :class:`_Unlowerable` (leaving ``lines_out`` untouched) when
+    any member unit cannot be expressed.
+    """
+    from repro.codegen.python_backend import _shard_unit
+
+    units = ([_shard_unit(u) for u in group.units]
+             if group.shard is not None else list(group.units))
+    fr = _Frame(shapes)
+    body: List[str] = []
+    depth = 1
+    if group.tile_loop is not None:
+        depth = _open_loop(group.tile_loop, body, depth)
+    for unit in units:
+        _emit_unit_c(unit, fr, body, depth)
+    if group.tile_loop is not None:
+        _close_loops(body, depth, 1)
+    buffers = sorted(fr.used)
+    params = ", ".join([f"float* {b}" for b in buffers]
+                       + ["long long _b0", "long long _b1",
+                          "long long _omp"])
+    lines_out.append(f"/* {group.label} */")
+    lines_out.append(f"void {name}({params}) {{")
+    lines_out.append("  (void)_b0; (void)_b1; (void)_omp;")
+    lines_out.extend(body)
+    lines_out.append("}")
+    lines_out.append("")
+    return buffers
+
+
+_C_PRELUDE = """\
+/* Latte-generated native program. Machine-written; see
+ * repro.codegen.c_backend. Compiled to a shared object and driven
+ * through ctypes; buffers are NumPy-owned float32 arrays passed as raw
+ * pointers. */
+#include <math.h>
+#include <stdlib.h>
+
+/* Optional BLAS hook: the runtime injects a cblas_sgemm address (from
+ * the BLAS NumPy itself bundles) via latte_set_sgemm after dlopen, so
+ * packed GEMMs run on the exact library the NumPy backend uses. With
+ * no pointer installed the blocked fallback below keeps every program
+ * self-contained. ilp64 selects the 64-bit-integer cblas ABI. */
+static void *_latte_sgemm_ptr = 0;
+static int _latte_sgemm_ilp64 = 1;
+void latte_set_sgemm(void *p, int ilp64) {
+  _latte_sgemm_ptr = p;
+  _latte_sgemm_ilp64 = ilp64;
+}
+typedef void (*_latte_sgemm64_fn)(
+    int order, int transa, int transb, long long m, long long n,
+    long long k, float alpha, const float *a, long long lda,
+    const float *b, long long ldb, float beta, float *c, long long ldc);
+typedef void (*_latte_sgemm32_fn)(
+    int order, int transa, int transb, int m, int n, int k, float alpha,
+    const float *a, int lda, const float *b, int ldb, float beta,
+    float *c, int ldc);
+
+/* C[M,N] (+)= op(A)[M,K] @ op(B)[K,N], row-major with leading
+ * dimensions (operands may be in-place views of larger buffers; ta/tb
+ * select the transposed storage orientation).
+ * 101/111/112 = CblasRowMajor/CblasNoTrans/CblasTrans. */
+static void _latte_gemm_rm(long long M, long long N, long long K,
+                           const float *A, long long lda, int ta,
+                           const float *B, long long ldb, int tb,
+                           float *C, long long ldc,
+                           int accumulate, long long nthreads) {
+  float beta = accumulate ? 1.0f : 0.0f;
+  if (_latte_sgemm_ptr) {
+    if (_latte_sgemm_ilp64)
+      ((_latte_sgemm64_fn)_latte_sgemm_ptr)(
+          101, ta ? 112 : 111, tb ? 112 : 111, M, N, K, 1.0f, A, lda, B,
+          ldb, beta, C, ldc);
+    else
+      ((_latte_sgemm32_fn)_latte_sgemm_ptr)(
+          101, ta ? 112 : 111, tb ? 112 : 111, (int)M, (int)N, (int)K,
+          1.0f, A, (int)lda, B, (int)ldb, beta, C, (int)ldc);
+    return;
+  }
+  #pragma omp parallel for schedule(static) \
+      num_threads((int)nthreads) if (nthreads > 1)
+  for (long long i = 0; i < M; i++) {
+    for (long long j = 0; j < N; j++) {
+      double acc = accumulate ? (double)C[i * ldc + j] : 0.0;
+      #pragma omp simd reduction(+:acc)
+      for (long long p = 0; p < K; p++)
+        acc += (double)A[ta ? p * lda + i : i * lda + p] *
+               (double)B[tb ? j * ldb + p : p * ldb + j];
+      C[i * ldc + j] = (float)acc;
+    }
+  }
+}
+
+static inline double _sigmoid(double x) { return 1.0 / (1.0 + exp(-x)); }
+static inline double _d_max(double a, double b) { return a >= b ? a : b; }
+static inline double _d_min(double a, double b) { return a <= b ? a : b; }
+static inline double _py_fmod(double a, double b) {
+  double r = fmod(a, b);
+  return (r != 0.0 && ((r < 0.0) != (b < 0.0))) ? r + b : r;
+}
+static inline long long _ll_min(long long a, long long b) {
+  return a < b ? a : b;
+}
+static inline long long _ll_max(long long a, long long b) {
+  return a > b ? a : b;
+}
+static inline long long _ll_fdiv(long long a, long long b) {
+  long long q = a / b;
+  return ((a % b) != 0 && ((a < 0) != (b < 0))) ? q - 1 : q;
+}
+static inline long long _ll_fmod(long long a, long long b) {
+  long long r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? r + b : r;
+}
+
+"""
+
+
+def emit_native_program(
+    compiled, fwd_items, bwd_items, plan, time_steps: int
+) -> Tuple[str, Dict[str, List[str]], Dict[str, str]]:
+    """Lower every lowerable task step of a compiled program to C.
+
+    Returns ``(source, steps, skipped)`` where ``steps`` maps each native
+    step name to its buffer-argument order (the rebuild recipe stored in
+    compile-cache entries) and ``skipped`` maps each Python-retained step
+    name to the reason it stayed interpreted.
+    """
+    shapes = {
+        name: env_shape(plan, spec, time_steps)
+        for name, spec in plan.buffers.items()
+    }
+    lines: List[str] = []
+    steps: Dict[str, List[str]] = {}
+    skipped: Dict[str, str] = {}
+    for step_list, items in ((compiled.forward, fwd_items),
+                             (compiled.backward, bwd_items)):
+        groups = [it for it in items if isinstance(it, FusedGroup)]
+        task_steps = [s for s in step_list if s.kind == "task"]
+        assert len(groups) == len(task_steps), "schedule/steps drifted"
+        for step, group in zip(task_steps, groups):
+            try:
+                steps[step.name] = _emit_step(
+                    group, step.name, shapes, lines
+                )
+            except _Unlowerable as exc:
+                skipped[step.name] = str(exc)
+    return _C_PRELUDE + "\n".join(lines), steps, skipped
+
+
+# ---------------------------------------------------------------------------
+# Native backend: ctypes binding
+# ---------------------------------------------------------------------------
+
+def _make_step_fn(cfn, names: Tuple[str, ...], batch: int, omp: int):
+    """Wrap one exported kernel as an executor-compatible step function.
+
+    The wrapper has the exact calling convention of a Python-backend step
+    — ``fn(env, rt)`` plain, ``fn(env, rt, _b0, _b1)`` sharded — and
+    fetches each buffer pointer from ``env`` *per call*, so per-``t``
+    views, recurrent zero views, private-accumulator swaps, and
+    ``rebind_buffer`` all work with zero executor changes.
+    """
+    def step(env, rt, _b0=0, _b1=batch):
+        args = []
+        for n in names:
+            a = env[n]
+            if a.dtype is not _F32 and a.dtype != _F32:
+                raise TypeError(
+                    f"C backend: buffer {n!r} must be float32, got {a.dtype}"
+                )
+            if not a.flags["C_CONTIGUOUS"]:
+                raise TypeError(
+                    f"C backend: buffer {n!r} must be C-contiguous "
+                    "(rebind_buffer with a contiguous array)"
+                )
+            args.append(a.ctypes.data)
+        cfn(*args, _b0, _b1, omp)
+
+    step._latte_native = True
+    return step
+
+
+def omp_threads_for(compiled, batch: int, num_threads: int) -> int:
+    """In-kernel OpenMP thread count: ``num_threads`` when the executor
+    runs steps whole, 1 when it splits batches into thread shards itself
+    (mirrors the executor's ``num_shards`` rule; avoids oversubscription
+    and keeps sharded runs comparable with the Python backend)."""
+    shardable = any(
+        s.shardable for s in compiled.forward + compiled.backward
+    )
+    num_shards = min(num_threads, batch) if shardable else 1
+    return num_threads if num_shards == 1 else 1
+
+
+def bind_steps(so_path: str, steps: Dict[str, List[str]], batch: int,
+               omp: int) -> Dict[str, object]:
+    """Load a compiled program and wrap its kernels as step functions."""
+    dll = _load(so_path)
+    fns: Dict[str, object] = {}
+    for name, bufnames in steps.items():
+        cfn = getattr(dll, name)
+        cfn.restype = None
+        cfn.argtypes = (
+            [ctypes.c_void_p] * len(bufnames) + [ctypes.c_longlong] * 3
+        )
+        fns[name] = _make_step_fn(cfn, tuple(bufnames), batch, omp)
+    return fns
+
+
+def attach_native(compiled, fwd_items, bwd_items, plan, time_steps: int,
+                  num_threads: int) -> None:
+    """Compile a program's lowerable steps to native code and swap their
+    step functions in place (the tentpole entry point, called by
+    ``compile_net`` when ``options.backend == 'c'``).
+
+    Extern-closure steps and anything the lowering rejects keep their
+    Python functions; ``compiled.c_exec_source``/``c_steps`` record the
+    native artifact + rebuild recipe for the compile cache, and
+    ``c_skipped`` the per-step fallback reasons.
+    """
+    if not have_c_toolchain():
+        raise CBackendUnavailable(
+            f"backend='c' requested but {toolchain_error()}"
+        )
+    source, steps, skipped = emit_native_program(
+        compiled, fwd_items, bwd_items, plan, time_steps
+    )
+    compiled.c_exec_source = source
+    compiled.c_steps = steps
+    compiled.c_skipped = skipped
+    if not steps:
+        return
+    so_path = compile_shared_object(source)
+    omp = omp_threads_for(compiled, plan.batch_size, num_threads)
+    fns = bind_steps(so_path, steps, plan.batch_size, omp)
+    for step in compiled.forward + compiled.backward:
+        fn = fns.get(step.name)
+        if fn is not None:
+            step.fn = fn

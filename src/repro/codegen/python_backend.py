@@ -77,7 +77,16 @@ class CompiledProgram:
     backward: List[Step]
     source: str
     closures: Dict[str, Callable]
+    #: paper-style C++/OpenMP *rendering* (repro.codegen.c_backend
+    #: .render_items) — inspection only, never compiled
     c_source: str = ""
+    #: executable C program (backend='c'): the source actually compiled
+    #: to a shared object, and per-native-step buffer-argument order —
+    #: together the rebuild recipe the compile cache stores
+    c_exec_source: str = ""
+    c_steps: Dict[str, List[str]] = field(default_factory=dict)
+    #: step name -> reason it kept its Python fn under backend='c'
+    c_skipped: Dict[str, str] = field(default_factory=dict)
 
 
 def _scalar_expr(e: Expr) -> str:

@@ -378,6 +378,9 @@ def transform_exprs(stmt: Stmt, fn: Callable[[Expr], Expr]) -> Stmt:
             tile=stmt.tile,
         )
     if isinstance(stmt, Gemm):
+        # var_axes/var_loops key on matched loop-variable names, which no
+        # expression rewrite renames (fusion only renames tile vars), so
+        # the match metadata survives structural copies
         return Gemm(
             fn(stmt.a),
             fn(stmt.b),
@@ -386,6 +389,8 @@ def transform_exprs(stmt: Stmt, fn: Callable[[Expr], Expr]) -> Stmt:
             stmt.accumulate,
             stmt.note,
             stmt.mnk,
+            var_axes=stmt.var_axes,
+            var_loops=stmt.var_loops,
         )
     if isinstance(stmt, Block):
         return Block([transform_exprs(s, fn) for s in stmt.stmts], stmt.label)

@@ -72,6 +72,16 @@ class CompilerOptions:
     #: configured watchdog via ``compile_net(..., watchdog=)`` /
     #: ``Net.init(watchdog=)`` instead for record-don't-raise modes.
     check_numerics: int = 0
+    #: executable backend: ``'numpy'`` (default) runs the generated
+    #: Python/NumPy program; ``'c'`` additionally lowers every fused
+    #: step to C, compiles the program with the system toolchain
+    #: (``cc`` -> shared object, loaded via ctypes), and swaps the
+    #: native kernels in — extern-closure steps (softmax loss,
+    #: normalization statistics, gathers) keep their Python functions.
+    #: Requires a working C compiler
+    #: (:func:`repro.codegen.c_backend.have_c_toolchain`); raises
+    #: :class:`repro.codegen.c_backend.CBackendUnavailable` otherwise.
+    backend: str = "numpy"
     #: ``'train'`` compiles the full forward+backward program;
     #: ``'inference'`` synthesizes a forward-only program — backward
     #: sections are empty, gradient/staging buffers are pruned from the
@@ -85,6 +95,10 @@ class CompilerOptions:
         if self.mode not in ("train", "inference"):
             raise ValueError(
                 f"mode must be 'train' or 'inference', got {self.mode!r}"
+            )
+        if self.backend not in ("numpy", "c"):
+            raise ValueError(
+                f"backend must be 'numpy' or 'c', got {self.backend!r}"
             )
         self.check_numerics = int(self.check_numerics)
         if self.check_numerics < 0:
@@ -357,6 +371,14 @@ def compile_net(net, options: CompilerOptions | None = None, tracer=None,
             compiled.c_source = c_backend.render_items(
                 fwd_items, "forward"
             ) + c_backend.render_items(bwd_items, "backward")
+    if options.backend == "c":
+        # lower lowerable steps to C, build one shared object, and swap
+        # the native kernels in (extern steps keep their Python fns)
+        with tracer.span("codegen-c", "compile"):
+            c_backend.attach_native(
+                compiled, fwd_items, bwd_items, plan,
+                net.time_steps, num_threads,
+            )
     # the end-to-end compile wall time (synthesis + passes + codegen) is
     # what the persistent compile cache's warm boot is measured against
     report.compile_seconds = time.perf_counter() - t_compile

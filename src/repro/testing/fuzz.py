@@ -3,7 +3,9 @@
 Generates ``budget`` random networks from the seeded generator, runs the
 full differential oracle on each (opt levels vs the O0 scalar
 interpreter, thread counts vs serial, finite-difference gradient probes,
-baseline parity), and on the first failure shrinks the spec to a minimal
+baseline parity, and — when a C toolchain is present — compiled
+C/OpenMP backend parity), and on the first failure shrinks the spec to
+a minimal
 reproducer, saves it under ``tests/regressions/`` (override with
 ``--out-dir``), prints the reproduction command, and exits non-zero.
 
@@ -54,6 +56,9 @@ def make_parser() -> argparse.ArgumentParser:
                              "disables)")
     parser.add_argument("--no-baselines", action="store_true",
                         help="skip caffe/mocha parity checks")
+    parser.add_argument("--no-cbackend", action="store_true",
+                        help="skip compiled C/OpenMP backend checks "
+                             "(default: run when a C toolchain is found)")
     parser.add_argument("--no-shrink", action="store_true",
                         help="report the raw failing spec without "
                              "minimizing")
@@ -87,6 +92,7 @@ def run_fuzz(args) -> int:
             threads=args.threads,
             gradcheck_indices=args.grad_indices,
             baselines=not args.no_baselines,
+            cbackend=False if args.no_cbackend else None,
         )
 
     ctx = (inject_bug(args.inject_bug) if args.inject_bug

@@ -24,6 +24,15 @@ Tolerance policy (see docs/TESTING.md and DESIGN.md §4b):
   shard bounds + fixed-order reduction): the oracle re-runs one thread
   configuration and requires identical bits — the check that catches
   races.
+* **C/OpenMP backend** — an independent native lowering of the same
+  fused schedule: kernels accumulate in double precision and order
+  GEMM contractions differently from BLAS, so comparisons against both
+  the O0 interpreter and the same-level NumPy backend use the
+  float-reassociation (``level_*``) tier. Run-to-run at one thread is
+  **bitwise** (fixed loop order, content-addressed shared object), as
+  is a freeze/thaw through the compile cache (the thaw recompiles the
+  stored C source). Enabled automatically when a C toolchain is
+  present; skipped cleanly otherwise.
 * **Finite differences** — central differences with a non-smoothness
   guard (:mod:`repro.testing.gradcheck`).
 * **Baselines** — independent implementations with different summation
@@ -130,7 +139,8 @@ class OracleReport:
 
 
 def run_spec(spec: NetSpec, level: int = 0, num_threads: int = 1,
-             memory_plan: Optional[bool] = None) -> RunResult:
+             memory_plan: Optional[bool] = None,
+             backend: str = "numpy") -> RunResult:
     """Build + compile ``spec`` at one configuration and run one
     forward/backward on its deterministic inputs.
 
@@ -139,11 +149,14 @@ def run_spec(spec: NetSpec, level: int = 0, num_threads: int = 1,
     every (level, threads) configuration of the same spec.
     ``memory_plan`` overrides the level's default arena-planner setting
     (O3+ on, below off) for the planned-vs-unplanned bitwise checks.
+    ``backend="c"`` compiles the fused steps to an OpenMP shared object
+    (requires a C toolchain; see :mod:`repro.codegen.c_backend`).
     """
     seed_all(spec.seed)
     net = build_net(spec)
     opts = CompilerOptions.level(level)
     opts.min_tile_rows = 2  # tiny fuzz geometry: keep tiling engaged
+    opts.backend = backend
     if memory_plan is not None:
         opts.memory_plan = memory_plan
     cnet = compile_net(net, opts, num_threads=num_threads)
@@ -250,10 +263,15 @@ def _compare_bitwise(check: str, got: RunResult, want: RunResult,
                         want.param_grads[key], 0, 0, out, bitwise=True)
 
 
-def _run_cache_roundtrip(spec: NetSpec, level: int):
+def _run_cache_roundtrip(spec: NetSpec, level: int, backend: str = "numpy"):
     """Run ``spec`` twice through ``compile_cached`` against a throwaway
     store — a cold compile that populates it, then a warm thaw — and
-    return ``(cold_result, warm_result, warm_was_hit)``."""
+    return ``(cold_result, warm_result, warm_was_hit)``.
+
+    ``backend="c"`` exercises the native-program recipe: the warm thaw
+    rebuilds the shared object from the stored C source and rebinds the
+    step functions, so it must still be bitwise-equal to the cold run.
+    """
     import tempfile
 
     from repro.cache import CompileCache, compile_cached
@@ -263,6 +281,7 @@ def _run_cache_roundtrip(spec: NetSpec, level: int):
         net = build_net(spec)
         opts = CompilerOptions.level(level)
         opts.min_tile_rows = 2
+        opts.backend = backend
         cnet = compile_cached(spec, net=net, options=opts, cache=store)
         x, y = make_inputs(spec)
         loss = cnet.forward(data=x, label=y)
@@ -379,6 +398,7 @@ def check_spec(
     gradcheck_indices: int = 3,
     baselines: bool = True,
     dtype: str = "float32",
+    cbackend: Optional[bool] = None,
 ) -> OracleReport:
     """Run every configured comparison on ``spec``.
 
@@ -387,7 +407,11 @@ def check_spec(
     and are compared against the serial run of that same level;
     ``gradcheck_indices`` finite-difference probes validate the O0
     input gradient itself; ``baselines`` enables caffe/mocha parity
-    when the spec stays within their layer vocabulary.
+    when the spec stays within their layer vocabulary; ``cbackend``
+    pins the compiled C/OpenMP backend against both the O0 interpreter
+    and the same-level NumPy backend (``None`` = run exactly when a
+    working C toolchain is present, so corpus runs cover it wherever
+    they can and skip cleanly where they cannot).
     """
     tol = TOLERANCES[dtype]
     report = OracleReport(spec)
@@ -451,6 +475,57 @@ def check_spec(
             check, "second compile_cached did not hit the cache"))
     else:
         _compare_bitwise(check, warm, cold, report.mismatches)
+
+    # the C/OpenMP backend is an independent lowering of the same fused
+    # schedule: its kernels accumulate in double and order contractions
+    # differently from BLAS, so values land inside the reassociation
+    # tier, never outside it — and a second compile of the same spec
+    # (content-addressed .so, fixed shard bounds) is bitwise identical
+    if cbackend is None:
+        from repro.codegen.c_backend import have_c_toolchain
+
+        cbackend = have_c_toolchain()
+    if cbackend:
+        c_level = max(levels) if levels else 4
+        check = "cbackend"
+        report.checks.append(check)
+        native = run_spec(spec, level=c_level, backend="c")
+        _compare_runs(check, native, reference, report.mismatches,
+                      tol["loss_rtol"], tol["level_rtol"],
+                      tol["level_atol"], tol["level_param_rtol"],
+                      tol["level_param_atol"])
+
+        check = "cbackend-vs-numpy"
+        report.checks.append(check)
+        numpy_same = by_level.get(c_level)
+        if numpy_same is None:
+            numpy_same = run_spec(spec, level=c_level)
+        _compare_runs(check, native, numpy_same, report.mismatches,
+                      tol["loss_rtol"], tol["level_rtol"],
+                      tol["level_atol"], tol["level_param_rtol"],
+                      tol["level_param_atol"])
+
+        # run-to-run determinism at one thread: a full rebuild (fresh
+        # net, fresh .so load) must reproduce every bit — any drift is
+        # nondeterministic codegen or an uninitialized buffer, not
+        # rounding
+        check = "cbackend-repro"
+        report.checks.append(check)
+        _compare_bitwise(check, run_spec(spec, level=c_level, backend="c"),
+                         native, report.mismatches)
+
+        # freeze/thaw of a native program recompiles the stored C source
+        # and rebinds the steps; the thawed program must compute the
+        # cold compile's exact bits
+        check = "cbackend-cache"
+        report.checks.append(check)
+        cold, warm, warm_hit = _run_cache_roundtrip(spec, c_level,
+                                                    backend="c")
+        if not warm_hit:
+            report.mismatches.append(Mismatch(
+                check, "second compile_cached did not hit the cache"))
+        else:
+            _compare_bitwise(check, warm, cold, report.mismatches)
 
     if threads and spec.batch > 1:
         thread_level = max(levels) if levels else 4

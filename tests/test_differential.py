@@ -5,7 +5,8 @@ exercises the generator/oracle/shrinker stack deterministically:
 
 * a seeded corpus of random networks, each run through the full oracle
   (opt levels vs O0, thread counts vs serial, finite-difference
-  gradients, baseline parity);
+  gradients, baseline parity, compiled C/OpenMP backend parity when a
+  toolchain is present);
 * generator invariants: determinism, JSON round-trips, validity over a
   wide seed range, family coverage;
 * oracle self-tests: an injected runtime bug must be caught *and*
@@ -195,6 +196,28 @@ class TestOracleReporting:
         names = set(report.checks)
         assert {"level:1", "level:3", "threads:2", "gradcheck",
                 "inference"} <= names
+
+    def test_cbackend_checks_run_when_toolchain_present(self):
+        # the corpus run above must actually pin the C backend wherever
+        # a toolchain exists — guard against the auto-detection silently
+        # turning the whole check family off
+        from repro.codegen.c_backend import have_c_toolchain
+
+        spec = random_spec(0, families=("mlp",))
+        report = check_spec(spec, levels=(4,), threads=(),
+                            gradcheck_indices=0, baselines=False)
+        names = set(report.checks)
+        expected = {"cbackend", "cbackend-vs-numpy", "cbackend-repro",
+                    "cbackend-cache"}
+        if have_c_toolchain():
+            assert expected <= names, report.checks
+        else:
+            assert not (expected & names), report.checks
+        # and the explicit opt-out always wins
+        off = check_spec(spec, levels=(4,), threads=(),
+                         gradcheck_indices=0, baselines=False,
+                         cbackend=False)
+        assert not (expected & set(off.checks))
 
     def test_run_results_are_finite(self):
         from repro.testing import run_spec
