@@ -197,6 +197,34 @@ def _closure_descriptors(net, plan, closures,
     return descs
 
 
+#: arrays key holding the native shared object's bytes (uint8)
+_SO_KEY = "__so__"
+
+
+def _c_exec_dict(cnet, compiled, arrays: Dict[str, np.ndarray]):
+    """The ``meta["c_exec"]`` record for a ``backend='c'`` compile —
+    source + step argument orders + toolchain fingerprint — stashing
+    the built ``.so`` bytes into ``arrays`` alongside. ``None`` for the
+    numpy backend."""
+    if getattr(cnet.options, "backend", "numpy") != "c":
+        return None
+    ce = {
+        "source": compiled.c_exec_source,
+        "steps": {k: list(v) for k, v in compiled.c_steps.items()},
+        "toolchain": None,
+    }
+    if compiled.c_steps:
+        from repro.codegen import c_backend
+
+        try:
+            data = c_backend.shared_object_bytes(compiled.c_exec_source)
+        except (c_backend.CBackendUnavailable, OSError):
+            return ce  # entry still thaws via a source recompile
+        arrays[_SO_KEY] = np.frombuffer(data, dtype=np.uint8)
+        ce["toolchain"] = c_backend.toolchain_fingerprint()
+    return ce
+
+
 def freeze(cnet) -> Tuple[dict, Dict[str, np.ndarray]]:
     """Serialize ``cnet`` into ``(meta, arrays)`` for a cache entry.
 
@@ -217,14 +245,11 @@ def freeze(cnet) -> Tuple[dict, Dict[str, np.ndarray]]:
         "source": compiled.source,
         "c_source": compiled.c_source,
         # native-backend rebuild recipe: the executable C source plus
-        # each native step's buffer-argument order; thaw recompiles the
-        # shared object (content-addressed, so usually a disk hit) and
-        # swaps the kernels back in
-        "c_exec": (
-            {"source": compiled.c_exec_source,
-             "steps": {k: list(v) for k, v in compiled.c_steps.items()}}
-            if getattr(cnet.options, "backend", "numpy") == "c" else None
-        ),
+        # each native step's buffer-argument order; the compiled shared
+        # object's bytes ride along in arrays["__so__"] (keyed to the
+        # toolchain fingerprint) so a warm thaw installs them directly
+        # and never invokes the compiler
+        "c_exec": _c_exec_dict(cnet, compiled, arrays),
         "steps": {
             "forward": [_step_dict(s) for s in compiled.forward],
             "backward": [_step_dict(s) for s in compiled.backward],
@@ -405,10 +430,17 @@ def _rebuild_steps(meta, namespace) -> Tuple[List[Step], List[Step]]:
     return phases[0], phases[1]
 
 
-def _rebind_native(compiled: CompiledProgram, meta: dict) -> None:
-    """Recompile a ``backend='c'`` entry's native program (the build is
-    content-addressed, so an unchanged entry reuses the existing shared
-    object byte-for-byte) and swap the kernels into the step lists."""
+def _rebind_native(compiled: CompiledProgram, meta: dict,
+                   arrays: Dict[str, np.ndarray]) -> None:
+    """Re-arm a ``backend='c'`` entry's native program and swap the
+    kernels into the step lists.
+
+    Warm path: when the entry carries the built shared object's bytes
+    (``arrays["__so__"]``) *and* its recorded toolchain fingerprint
+    matches this machine's, the bytes are installed at the
+    content-addressed path directly — no compiler invocation at all.
+    Otherwise the source is recompiled (itself content-addressed, so an
+    unchanged program on the same machine is still a disk hit)."""
     from repro.codegen import c_backend
 
     ce = meta.get("c_exec") or {}
@@ -418,10 +450,24 @@ def _rebind_native(compiled: CompiledProgram, meta: dict) -> None:
     compiled.c_steps = csteps
     if not csteps:
         return
-    try:
-        so_path = c_backend.compile_shared_object(source)
-    except c_backend.CBackendUnavailable as exc:
-        raise CacheError(f"cannot rebuild native program: {exc}") from exc
+    so_path = None
+    so_bytes = arrays.get(_SO_KEY)
+    if (so_bytes is not None
+            and ce.get("toolchain") is not None
+            and ce["toolchain"] == c_backend.toolchain_fingerprint()):
+        try:
+            so_path = c_backend.install_shared_object(
+                source, so_bytes.tobytes()
+            )
+        except (c_backend.CBackendUnavailable, OSError):
+            so_path = None  # fall through to the source recompile
+    if so_path is None:
+        try:
+            so_path = c_backend.compile_shared_object(source)
+        except c_backend.CBackendUnavailable as exc:
+            raise CacheError(
+                f"cannot rebuild native program: {exc}"
+            ) from exc
     batch = int(meta["batch_size"])
     omp = c_backend.omp_threads_for(
         compiled, batch, int(meta["num_threads"])
@@ -471,7 +517,7 @@ def thaw(net, meta: dict, arrays: Dict[str, np.ndarray], options, *,
         compiled = CompiledProgram(fwd, bwd, meta["source"], closures,
                                    c_source=meta.get("c_source", ""))
         if meta["options"].get("backend", "numpy") == "c":
-            _rebind_native(compiled, meta)
+            _rebind_native(compiled, meta, arrays)
         report = _rebuild_report(meta)
         return CompiledNet(
             net, plan, compiled, options, tracer=tracer,

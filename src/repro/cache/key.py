@@ -14,7 +14,10 @@ compiled program, rendered as canonical (sorted-keys) JSON:
   memory plan);
 * the backend identifier, the library version, the NumPy version, and
   the entry :data:`FORMAT_VERSION` — bumping any of these invalidates
-  every existing entry rather than risking a stale thaw.
+  every existing entry rather than risking a stale thaw;
+* for ``backend="c"``, the toolchain fingerprint (compiler version +
+  flags) — those entries embed the built shared object's bytes, which
+  are only valid for the toolchain that produced them.
 
 Anything *not* in the key (tracer, watchdog, cache directory) must
 never change the generated program.
@@ -40,7 +43,9 @@ BACKEND_ID = BACKEND_IDS["numpy"]
 #: older ones as misses (see repro.cache.store); part of the key, so a
 #: bump simply stops matching old files instead of misreading them.
 #: v2: entries may carry a ``c_exec`` native-program rebuild recipe
-FORMAT_VERSION = 2
+#: v3: C-backend entries embed the built ``.so`` bytes (keyed on the
+#:     toolchain fingerprint) so warm boots never invoke the compiler
+FORMAT_VERSION = 3
 
 
 class CacheUnsupported(ValueError):
@@ -106,5 +111,11 @@ def cache_key(builder: dict, batch_size: int, options, num_threads: int,
         "numpy_version": np.__version__,
         "format_version": FORMAT_VERSION,
     }
+    if getattr(options, "backend", "numpy") == "c":
+        # C-backend entries embed built .so bytes, so the key must
+        # change with the (compiler, flags) pair that produced them
+        from repro.codegen.c_backend import toolchain_fingerprint
+
+        identity["toolchain"] = toolchain_fingerprint()
     digest = hashlib.sha256(canonical_json(identity).encode()).hexdigest()
     return digest

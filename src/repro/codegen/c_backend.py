@@ -257,6 +257,76 @@ def compile_shared_object(source: str) -> str:
     return str(so)
 
 
+#: memoized toolchain fingerprint (built on first use)
+_fingerprint: Optional[str] = None
+
+
+def toolchain_fingerprint() -> str:
+    """A short stable identifier for the active (compiler, flags) pair.
+
+    Cache entries that embed compiled shared-object bytes record this so
+    a thaw on a different machine (or after a compiler upgrade) knows
+    the bytes are foreign and falls back to recompiling from source.
+    ``"none"`` when no toolchain is available.
+    """
+    global _fingerprint
+    if _fingerprint is not None:
+        return _fingerprint
+    info = _probe_toolchain()
+    if not info["cc"] or info["why"]:
+        _fingerprint = "none"
+        return _fingerprint
+    try:
+        proc = subprocess.run([info["cc"], "--version"],
+                              capture_output=True, timeout=30)
+        version = proc.stdout.decode(errors="replace").splitlines()[0]
+    except (OSError, subprocess.TimeoutExpired, IndexError):
+        version = "unknown"
+    digest = hashlib.sha256(
+        "\x00".join([version, " ".join(info["flags"])]).encode()
+    ).hexdigest()[:16]
+    _fingerprint = f"{Path(info['cc']).name}:{digest}"
+    return _fingerprint
+
+
+def shared_object_bytes(source: str) -> bytes:
+    """The compiled shared object for ``source``, as bytes (building it
+    first if this process has not yet). Used by the compile cache to
+    embed the native artifact in an entry so warm boots skip ``cc``."""
+    return Path(compile_shared_object(source)).read_bytes()
+
+
+def install_shared_object(source: str, data: bytes) -> str:
+    """Drop pre-built shared-object ``data`` at the content-addressed
+    path :func:`compile_shared_object` would produce for ``source``;
+    returns that path without ever invoking the compiler.
+
+    The caller is responsible for checking
+    :func:`toolchain_fingerprint` matches the fingerprint recorded when
+    the bytes were built — foreign bytes belong to a different compiler
+    and must be rebuilt from source instead.
+    """
+    info = _probe_toolchain()
+    if not info["cc"] or info["why"]:
+        raise CBackendUnavailable(
+            f"C backend unavailable: {toolchain_error()}"
+        )
+    tag = hashlib.sha256(
+        "\x00".join([source, info["cc"], " ".join(info["flags"])]).encode()
+    ).hexdigest()[:24]
+    d = build_dir()
+    so = d / f"latte_{tag}.so"
+    if so.exists():
+        return str(so)
+    csrc = d / f"latte_{tag}.c"
+    if not csrc.exists():
+        csrc.write_text(source)
+    tmp = d / f".latte_{tag}.{os.getpid()}.so"
+    tmp.write_bytes(data)
+    os.replace(tmp, so)  # atomic: concurrent installers converge
+    return str(so)
+
+
 #: memoized cblas_sgemm lookup: None = not found, (addr, ilp64) = found;
 #: the CDLL is pinned in _cblas_dll so the symbol address stays valid
 _cblas_probed = False

@@ -19,6 +19,15 @@ from repro.runtime.distributed import (
     weak_scaling,
 )
 from repro.runtime.executor import CompiledNet, ParamView
+from repro.runtime.procpool import (
+    AsyncLossy,
+    ProcessPoolUnavailable,
+    ProcessTrainer,
+    SharedParamBlock,
+    SyncReduce,
+    WorkerDiedError,
+    WorkerError,
+)
 from repro.runtime.netsim import (
     NetworkModel,
     cori_aries,
@@ -27,6 +36,7 @@ from repro.runtime.netsim import (
 )
 
 __all__ = [
+    "AsyncLossy",
     "ChunkAssignment",
     "ClusterSimulator",
     "CommPoint",
@@ -37,6 +47,12 @@ __all__ = [
     "MultiThreadTrainer",
     "NetworkModel",
     "ParamView",
+    "ProcessPoolUnavailable",
+    "ProcessTrainer",
+    "SharedParamBlock",
+    "SyncReduce",
+    "WorkerDiedError",
+    "WorkerError",
     "allocate",
     "calibrate_host_rate",
     "cori_aries",

@@ -86,6 +86,36 @@ def allocate(plan: BufferPlan) -> Dict[str, np.ndarray]:
     return bufs
 
 
+def param_layout(plan: BufferPlan):
+    """Flat packing of every learnable parameter: ``([(info, offset,
+    shape, elems), ...], total_elems)`` in ``plan.params`` order.
+
+    The multi-process backend carves one shared-memory block per role
+    (values; a ``(n_workers, total)`` gradient grid) with this layout,
+    so a parameter's bytes live at the same offset in every process.
+    """
+    out, off = [], 0
+    for info in plan.params:
+        shape = tuple(full_shape(plan, plan.buffers[info.value_buf]))
+        n = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        out.append((info, off, shape, n))
+        off += n
+    return out, off
+
+
+def carve_param_views(layout, flat: np.ndarray, *,
+                      grads: bool = False) -> Dict[str, np.ndarray]:
+    """Buffer name → reshaped view into ``flat`` for every parameter in
+    a :func:`param_layout` (value buffers by default, gradient buffers
+    with ``grads=True``) — the dict :meth:`CompiledNet.rebind_buffers`
+    takes to map a replica onto a shared block."""
+    return {
+        (info.grad_buf if grads else info.value_buf):
+            flat[off:off + n].reshape(shape)
+        for info, off, shape, n in layout
+    }
+
+
 def allocate_private(plan: BufferPlan, num_shards: int) -> Dict[str, np.ndarray]:
     """Allocate per-shard private accumulators (name → ``(num_shards,
     *shape)`` array) for every buffer the parallel pass registered via

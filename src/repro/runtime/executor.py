@@ -245,18 +245,31 @@ class CompiledNet:
         memory across replicas) and re-bake everything derived from it:
         alias views, solver parameter views, and the pre-bound step
         programs."""
-        old = self.buffers[name]
-        if array.shape != old.shape or array.dtype != old.dtype:
-            raise ValueError(
-                f"rebind_buffer({name!r}): shape/dtype mismatch "
-                f"({array.shape}/{array.dtype} vs {old.shape}/{old.dtype})"
-            )
-        self.buffers[name] = array
+        self.rebind_buffers({name: array})
+
+    def rebind_buffers(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Replace several buffer-table entries with one program
+        re-bake. The multi-process backend binds every parameter value
+        and gradient buffer onto shared memory in a single call —
+        re-baking the step programs once instead of once per tensor."""
+        for name, array in arrays.items():
+            old = self.buffers[name]
+            if array.shape != old.shape or array.dtype != old.dtype:
+                raise ValueError(
+                    f"rebind_buffer({name!r}): shape/dtype mismatch "
+                    f"({array.shape}/{array.dtype} vs "
+                    f"{old.shape}/{old.dtype})"
+                )
+        if not arrays:
+            return
+        for name, array in arrays.items():
+            self.buffers[name] = array
         plan = self.plan
+        targets = {plan.resolve_alias(name) for name in arrays}
         for spec in plan.buffers.values():
             if spec.alias_of is None:
                 continue
-            if plan.resolve_alias(spec.name) != plan.resolve_alias(name):
+            if plan.resolve_alias(spec.name) not in targets:
                 continue
             base = self.buffers[spec.alias_of]
             if spec.alias_reshape is not None:

@@ -7,7 +7,9 @@ compilation: persisting trained parameters (:mod:`repro.serve.checkpoint`),
 micro-batching request admission (:mod:`repro.serve.batcher`), and the
 replica-pool server with its stdlib HTTP front end
 (:mod:`repro.serve.server`). ``python -m repro.serve --checkpoint m.npz``
-boots the whole stack from one artifact.
+boots the whole stack from one artifact; add ``--workers N`` to run the
+replicas as worker *processes* (:mod:`repro.serve.procserver`,
+docs/DISTRIBUTED.md) behind the same HTTP front end.
 """
 
 from repro.serve.batcher import (
@@ -22,6 +24,7 @@ from repro.serve.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
+from repro.serve.procserver import ProcessServerPool
 from repro.serve.server import ModelServer, make_http_server
 
 __all__ = [
@@ -30,6 +33,7 @@ __all__ = [
     "CheckpointError",
     "DynamicBatcher",
     "ModelServer",
+    "ProcessServerPool",
     "QueueFullError",
     "Request",
     "load_checkpoint",

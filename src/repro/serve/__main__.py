@@ -41,6 +41,11 @@ def main(argv=None) -> int:
                     help="compiled batch size = max micro-batch size")
     ap.add_argument("--replicas", type=int, default=1,
                     help="worker replicas sharing one parameter set")
+    ap.add_argument("--workers", type=int, default=0,
+                    help="run N ModelServer worker *processes* behind "
+                    "the front end instead of in-process replica "
+                    "threads (docs/DISTRIBUTED.md); each worker gets "
+                    "--replicas replicas")
     ap.add_argument("--max-latency-ms", type=float, default=5.0,
                     help="oldest-request age that forces a ragged flush")
     ap.add_argument("--max-queue", type=int, default=64,
@@ -59,20 +64,38 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
 
     configure_json_logging()
-    server = ModelServer.from_checkpoint(
-        args.checkpoint,
-        batch_size=args.batch_size,
-        replicas=args.replicas,
-        output=args.output,
-        num_threads=args.threads,
-        max_latency=args.max_latency_ms / 1e3,
-        max_queue=args.max_queue,
-        cache=args.compile_cache,
-    )
+    if args.workers and args.workers > 0:
+        from repro.serve.procserver import ProcessServerPool
+
+        server = ProcessServerPool(
+            args.checkpoint,
+            workers=args.workers,
+            batch_size=args.batch_size,
+            replicas=args.replicas,
+            output=args.output,
+            num_threads=args.threads,
+            max_latency=args.max_latency_ms / 1e3,
+            max_queue=args.max_queue,
+            cache=args.compile_cache,
+        )
+        topology = (f"workers={args.workers} processes × "
+                    f"{args.replicas} replica(s)")
+    else:
+        server = ModelServer.from_checkpoint(
+            args.checkpoint,
+            batch_size=args.batch_size,
+            replicas=args.replicas,
+            output=args.output,
+            num_threads=args.threads,
+            max_latency=args.max_latency_ms / 1e3,
+            max_queue=args.max_queue,
+            cache=args.compile_cache,
+        )
+        topology = f"replicas={len(server.replicas)}"
     httpd = make_http_server(server, args.host, args.port)
     host, port = httpd.server_address[:2]
     print(f"serving {args.checkpoint} on http://{host}:{port} "
-          f"(batch={server.batch_size}, replicas={len(server.replicas)}) "
+          f"(batch={server.batch_size}, {topology}) "
           f"— POST /predict, GET /healthz, GET /stats, GET /metrics",
           flush=True)
     try:

@@ -72,6 +72,21 @@ class Request:
             raise self.error
         return self.result
 
+    def complete(self, result: np.ndarray,
+                 latency: Optional[float] = None) -> None:
+        """Fulfil this request (worker side): store the output row,
+        stamp the latency (measured from admission unless the worker
+        supplies its own), and wake the waiter."""
+        self.result = result
+        self.latency = (latency if latency is not None
+                        else time.monotonic() - self.enqueued_at)
+        self.done.set()
+
+    def fail(self, exc: BaseException) -> None:
+        """Fail this request: :meth:`wait` re-raises ``exc``."""
+        self.error = exc
+        self.done.set()
+
 
 class DynamicBatcher:
     """A bounded request queue with size- and latency-triggered flushes.

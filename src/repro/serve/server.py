@@ -285,8 +285,7 @@ class ModelServer:
             out = replica.value(self.output)[:n].copy()
         except BaseException as exc:  # complete waiters, then bookkeep
             for req in batch:
-                req.error = exc
-                req.done.set()
+                req.fail(exc)
             self._m_requests.inc(n, outcome="error")
             log_event(self.logger, "batch_error", replica=index,
                       request_ids=ids, error=str(exc),
@@ -295,9 +294,7 @@ class ModelServer:
         step_seconds = time.monotonic() - t0
         now = time.monotonic()
         for i, req in enumerate(batch):
-            req.result = out[i]
-            req.latency = now - req.enqueued_at
-            req.done.set()
+            req.complete(out[i], now - req.enqueued_at)
         rep = str(index)
         self._m_requests.inc(n, outcome="served")
         self._m_batches.inc(replica=rep)
@@ -319,6 +316,13 @@ class ModelServer:
                   request_ids=ids)
 
     # -- introspection ------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition page ``GET /metrics`` serves — the
+        in-process registry rendered. The multi-process pool
+        (:class:`~repro.serve.procserver.ProcessServerPool`) overrides
+        this with an aggregation of every worker's page."""
+        return self.registry.render()
 
     def stats(self) -> Dict[str, object]:
         """Counters plus request-latency percentiles (milliseconds),
@@ -419,9 +423,13 @@ class ModelServer:
 # ---------------------------------------------------------------------------
 
 
-def make_http_server(server: ModelServer, host: str = "127.0.0.1",
+def make_http_server(server, host: str = "127.0.0.1",
                      port: int = 8080) -> ThreadingHTTPServer:
-    """A ``ThreadingHTTPServer`` exposing ``server``:
+    """A ``ThreadingHTTPServer`` exposing ``server`` — a
+    :class:`ModelServer` or anything with the same ``submit`` /
+    ``stats`` / ``metrics_text`` surface (the multi-process
+    :class:`~repro.serve.procserver.ProcessServerPool` plugs in here
+    unchanged):
 
     * ``POST /predict`` — body ``{"inputs": [item, ...]}`` where each
       item is a nested list matching the model's input shape; responds
@@ -465,7 +473,7 @@ def make_http_server(server: ModelServer, host: str = "127.0.0.1",
             elif self.path == "/stats":
                 self._reply(200, server.stats())
             elif self.path == "/metrics":
-                self._send(200, server.registry.render().encode(),
+                self._send(200, server.metrics_text().encode(),
                            "text/plain; version=0.0.4; charset=utf-8")
             else:
                 self._reply(404, {"error": f"no route {self.path}"})

@@ -72,6 +72,8 @@ def solve(
     label_name: str = "label",
     epochs: Optional[int] = None,
     shuffle: bool = True,
+    workers: Optional[int] = None,
+    reduce_policy=None,
     rng=None,
     tracer=None,
     monitor=None,
@@ -112,6 +114,20 @@ def solve(
     uninterrupted one (pinned in tests/test_checkpoint.py), because the
     shuffle/dropout RNG state is restored *in place* on the shared
     library generator.
+
+    ``workers=N`` trains data-parallel across N forked worker
+    processes sharing parameter memory
+    (:class:`repro.runtime.ProcessTrainer`): each epoch's micro-batches
+    are formed exactly as the serial loop forms them, then dealt to the
+    workers under ``reduce_policy`` —
+    :class:`~repro.runtime.SyncReduce` (default; deterministic tree
+    reduction, one update per round of N batches, and at ``workers=1``
+    bitwise-identical to the serial loop) or
+    :class:`~repro.runtime.AsyncLossy` (the paper's §7 lossy updates).
+    Evaluation, monitors, and checkpoints all run on the parent's
+    replica, which shares the live parameter block; the original
+    parameter arrays are restored (with trained values) when training
+    finishes. See docs/DISTRIBUTED.md.
     """
     rng = rng or get_rng()
     epochs = epochs if epochs is not None else solver.params.max_epoch
@@ -119,6 +135,8 @@ def solve(
         tracer = getattr(cnet, "tracer", None) or NULL_TRACER
     if checkpoint_every is not None and checkpoint_path is None:
         raise ValueError("checkpoint_every= needs checkpoint_path=")
+    if reduce_policy is not None and workers is None:
+        raise ValueError("reduce_policy= needs workers=")
     hist = TrainHistory()
     start_epoch = 0
     if resume_from is not None:
@@ -137,52 +155,76 @@ def solve(
             hist.test_accuracy.extend(saved["test_accuracy"])
         start_epoch = ck.epoch
     cnet.training = True
-    for _epoch in range(start_epoch, epochs):
-        token = tracer.begin("epoch", "train", epoch=_epoch)
-        epoch_t0 = time.perf_counter() if monitor is not None else 0.0
-        epoch_loss, n_batches, iter_time = 0.0, 0, 0.0
-        for sel in _batches(len(train), cnet.batch_size, rng, shuffle):
-            t0 = time.perf_counter() if tracer.enabled else 0.0
-            loss = cnet.forward(**{data_name: train.data[sel],
-                                   label_name: train.labels[sel]})
-            cnet.clear_param_grads()
-            cnet.backward()
-            solver.update(cnet)
-            if tracer.enabled:
-                iter_time += time.perf_counter() - t0
-            epoch_loss += loss
-            n_batches += 1
-        mean_loss = epoch_loss / max(n_batches, 1)
-        hist.losses.append(mean_loss)
-        tracer.metric("epoch_loss", mean_loss, epoch=_epoch)
-        if monitor is not None:
-            monitor.on_epoch(
-                _epoch, mean_loss, rows=n_batches * cnet.batch_size,
-                seconds=time.perf_counter() - epoch_t0, cnet=cnet,
-            )
-        if tracer.enabled:
-            tracer.metric("iteration_time",
-                          iter_time / max(n_batches, 1), epoch=_epoch)
-        if output_ens is not None:
-            hist.train_accuracy.append(
-                evaluate(cnet, train, output_ens, data_name, label_name)
-            )
-            tracer.metric("train_accuracy", hist.train_accuracy[-1],
-                          epoch=_epoch)
-            if test is not None:
-                hist.test_accuracy.append(
-                    evaluate(cnet, test, output_ens, data_name, label_name)
-                )
-                tracer.metric("test_accuracy", hist.test_accuracy[-1],
-                              epoch=_epoch)
-        tracer.end(token)
-        if (checkpoint_every is not None
-                and (_epoch + 1) % checkpoint_every == 0):
-            from repro.serve.checkpoint import save_checkpoint
+    trainer = None
+    if workers is not None:
+        # created after any resume_from restore so the shared block is
+        # loaded from the restored parameters
+        from repro.runtime.procpool import ProcessTrainer
 
-            save_checkpoint(
-                checkpoint_path, cnet, config=checkpoint_config,
-                output=output_ens, solver=solver, epoch=_epoch + 1,
-                history=hist, rng=rng,
-            )
+        trainer = ProcessTrainer(cnet, workers, reduce_policy)
+    try:
+        for _epoch in range(start_epoch, epochs):
+            token = tracer.begin("epoch", "train", epoch=_epoch)
+            epoch_t0 = time.perf_counter() if monitor is not None else 0.0
+            if trainer is not None:
+                epoch_w0 = time.perf_counter() if tracer.enabled else 0.0
+                mean_loss = trainer.train_epoch(
+                    solver, train.data, train.labels, data_name,
+                    label_name, rng=rng, shuffle=shuffle,
+                )
+                n_batches = trainer.last_batches
+                iter_time = ((time.perf_counter() - epoch_w0)
+                             if tracer.enabled else 0.0)
+            else:
+                epoch_loss, n_batches, iter_time = 0.0, 0, 0.0
+                for sel in _batches(len(train), cnet.batch_size, rng,
+                                    shuffle):
+                    t0 = time.perf_counter() if tracer.enabled else 0.0
+                    loss = cnet.forward(**{data_name: train.data[sel],
+                                           label_name: train.labels[sel]})
+                    cnet.clear_param_grads()
+                    cnet.backward()
+                    solver.update(cnet)
+                    if tracer.enabled:
+                        iter_time += time.perf_counter() - t0
+                    epoch_loss += loss
+                    n_batches += 1
+                mean_loss = epoch_loss / max(n_batches, 1)
+            hist.losses.append(mean_loss)
+            tracer.metric("epoch_loss", mean_loss, epoch=_epoch)
+            if monitor is not None:
+                monitor.on_epoch(
+                    _epoch, mean_loss, rows=n_batches * cnet.batch_size,
+                    seconds=time.perf_counter() - epoch_t0, cnet=cnet,
+                )
+            if tracer.enabled:
+                tracer.metric("iteration_time",
+                              iter_time / max(n_batches, 1), epoch=_epoch)
+            if output_ens is not None:
+                hist.train_accuracy.append(
+                    evaluate(cnet, train, output_ens, data_name,
+                             label_name)
+                )
+                tracer.metric("train_accuracy", hist.train_accuracy[-1],
+                              epoch=_epoch)
+                if test is not None:
+                    hist.test_accuracy.append(
+                        evaluate(cnet, test, output_ens, data_name,
+                                 label_name)
+                    )
+                    tracer.metric("test_accuracy", hist.test_accuracy[-1],
+                                  epoch=_epoch)
+            tracer.end(token)
+            if (checkpoint_every is not None
+                    and (_epoch + 1) % checkpoint_every == 0):
+                from repro.serve.checkpoint import save_checkpoint
+
+                save_checkpoint(
+                    checkpoint_path, cnet, config=checkpoint_config,
+                    output=output_ens, solver=solver, epoch=_epoch + 1,
+                    history=hist, rng=rng,
+                )
+    finally:
+        if trainer is not None:
+            trainer.close()
     return hist

@@ -7,6 +7,7 @@ cold compiles; concurrent writers leave a valid entry; eviction is
 size-bounded LRU).
 """
 
+import json
 import os
 import subprocess
 import sys
@@ -406,3 +407,117 @@ class TestCLI:
 
     def test_prune_needs_a_target(self, tmp_path, capsys):
         assert cache_main(["--cache-dir", str(tmp_path), "prune"]) == 2
+
+
+class TestNativeSharedObject:
+    """``backend="c"`` entries embed the built ``.so`` bytes so warm
+    boots skip the compiler entirely (keyed on toolchain fingerprint)."""
+
+    from repro.codegen.c_backend import have_c_toolchain
+
+    needs_toolchain = pytest.mark.skipif(not have_c_toolchain(),
+                                         reason="no C toolchain")
+
+    def _c_opts(self):
+        return CompilerOptions(backend="c")
+
+    def _run(self, cnet, seed=0):
+        x = np.random.default_rng(seed).standard_normal(
+            (4, 30)).astype(np.float32)
+        y = np.zeros((4, 1), np.float32)
+        return cnet.forward(data=x, label=y)
+
+    @needs_toolchain
+    def test_entry_embeds_so_bytes_and_toolchain(self, tmp_path):
+        from repro.codegen.c_backend import toolchain_fingerprint
+
+        store = CompileCache(tmp_path / "cache")
+        seed_all(1)
+        cnet = compile_cached(MLP, 4, options=self._c_opts(), cache=store)
+        cnet.close()
+        (entry,) = store.entries()
+        with np.load(entry.path, allow_pickle=False) as data:
+            assert "__so__" in data.files
+            assert data["__so__"].dtype == np.uint8
+            assert data["__so__"].size > 0
+            meta = json.loads(bytes(data["__meta__"]).decode())
+        assert meta["c_exec"]["toolchain"] == toolchain_fingerprint()
+
+    @needs_toolchain
+    def test_warm_boot_never_invokes_the_compiler(self, tmp_path,
+                                                  monkeypatch):
+        from repro.codegen import c_backend
+
+        store = CompileCache(tmp_path / "cache")
+        monkeypatch.setenv("REPRO_CBUILD_DIR", str(tmp_path / "build1"))
+        seed_all(2)
+        cold = compile_cached(MLP, 4, options=self._c_opts(), cache=store)
+        want = self._run(cold)
+        cold.close()
+
+        # fresh build dir (no .so on disk) + compiler forbidden: the
+        # thaw must install the cached bytes instead of compiling
+        monkeypatch.setenv("REPRO_CBUILD_DIR", str(tmp_path / "build2"))
+
+        def forbidden(source):
+            raise AssertionError("compiler invoked on the warm path")
+
+        monkeypatch.setattr(c_backend, "compile_shared_object", forbidden)
+        seed_all(2)
+        warm = compile_cached(MLP, 4, options=self._c_opts(), cache=store)
+        assert warm.compile_report.cache_hit
+        assert self._run(warm) == want
+        warm.close()
+        assert any(p.suffix == ".so"
+                   for p in (tmp_path / "build2").iterdir())
+
+    @needs_toolchain
+    def test_foreign_toolchain_falls_back_to_recompile(self, tmp_path,
+                                                       monkeypatch):
+        from repro.codegen import c_backend
+
+        store = CompileCache(tmp_path / "cache")
+        seed_all(3)
+        cold = compile_cached(MLP, 4, options=self._c_opts(), cache=store)
+        want = self._run(cold)
+        cold.close()
+
+        calls = []
+        real = c_backend.compile_shared_object
+
+        def counting(source):
+            calls.append(source)
+            return real(source)
+
+        monkeypatch.setattr(c_backend, "compile_shared_object", counting)
+        # pretend the entry's bytes came from another machine; the key
+        # lookup must keep matching (same live fingerprint) while the
+        # thaw refuses the bytes and recompiles from source
+        (entry,) = store.entries()
+        with np.load(entry.path, allow_pickle=False) as data:
+            meta = json.loads(bytes(data["__meta__"]).decode())
+            arrays = {n: data[n] for n in data.files if n != "__meta__"}
+        meta["c_exec"]["toolchain"] = "cc:feedfacefeedface"
+        store.put(meta["key"], {k: v for k, v in meta.items()
+                                if k not in ("format", "version", "key",
+                                             "created", "model")},
+                  arrays, model="mlp")
+        seed_all(3)
+        warm = compile_cached(MLP, 4, options=self._c_opts(), cache=store)
+        assert warm.compile_report.cache_hit
+        assert calls  # recompiled from source
+        assert self._run(warm) == want
+        warm.close()
+
+    @needs_toolchain
+    def test_toolchain_is_part_of_the_c_key_only(self, monkeypatch):
+        from repro.codegen import c_backend
+
+        base_c = cache_key(as_builder(MLP), 4, self._c_opts(), 1, None)
+        base_np = cache_key(as_builder(MLP), 4, CompilerOptions(), 1, None)
+        monkeypatch.setattr(c_backend, "toolchain_fingerprint",
+                            lambda: "cc:0123456789abcdef")
+        assert cache_key(as_builder(MLP), 4, self._c_opts(), 1,
+                         None) != base_c
+        assert cache_key(as_builder(MLP), 4, CompilerOptions(), 1,
+                         None) == base_np

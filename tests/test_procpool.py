@@ -1,0 +1,254 @@
+"""The multi-process data-parallel backend (repro.runtime.procpool).
+
+Pins the contract the paper's §7 story rides on: ``workers=1`` under
+synchronous reduction is bitwise the serial training loop, multi-worker
+sync runs are deterministic run to run, the async policy honours its
+staleness bound, the parent's original parameter arrays come back
+(trained) after close, and worker-side failures surface as structured
+errors instead of hangs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Net
+from repro.layers import (
+    DataAndLabelLayer,
+    FullyConnectedLayer,
+    ReLULayer,
+    SoftmaxLossLayer,
+)
+from repro.runtime import (
+    AsyncLossy,
+    ProcessTrainer,
+    SharedParamBlock,
+    SyncReduce,
+    WorkerError,
+)
+from repro.runtime.buffers import param_layout
+from repro.solvers import (
+    SGD,
+    Dataset,
+    LRPolicy,
+    MomPolicy,
+    SolverParameters,
+    solve,
+)
+from repro.utils.rng import seed_all
+
+BATCH = 8
+
+
+def _build():
+    seed_all(17)
+    net = Net(BATCH)
+    data, label = DataAndLabelLayer(net, (32,))
+    ip1 = FullyConnectedLayer("ip1", net, data, 24)
+    r = ReLULayer("r", net, ip1)
+    ip2 = FullyConnectedLayer("ip2", net, r, 4)
+    SoftmaxLossLayer("loss", net, ip2, label)
+    return net.init()
+
+
+def _task(n=256, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.random.default_rng(99).standard_normal((4, 32)) * 2
+    labels = rng.integers(0, 4, n)
+    data = centers[labels] + 0.4 * rng.standard_normal((n, 32))
+    return data.astype(np.float32), labels.astype(np.float32).reshape(-1, 1)
+
+
+def _solver(lr=0.05, mom=0.9):
+    return SGD(SolverParameters(lr_policy=LRPolicy.Fixed(lr),
+                                mom_policy=MomPolicy.Fixed(mom),
+                                max_epoch=3))
+
+
+def _params(cnet):
+    return {info.value_buf: cnet.buffers[info.value_buf].copy()
+            for info in cnet.plan.params}
+
+
+class TestSharedParamBlock:
+    def test_layout_covers_every_parameter(self):
+        cnet = _build()
+        try:
+            layout, total = param_layout(cnet.plan)
+            assert total == sum(n for _, _, _, n in layout)
+            assert {info.value_buf for info, _, _, _ in layout} == {
+                info.value_buf for info in cnet.plan.params
+            }
+        finally:
+            cnet.close()
+
+    def test_bindings_alias_one_flat_block(self):
+        cnet = _build()
+        block = SharedParamBlock(cnet.plan, 2)
+        try:
+            views = block.bindings(grad_row=1)
+            for info, off, shape, n in block.layout:
+                v = views[info.value_buf]
+                assert v.shape == shape
+                assert np.shares_memory(v, block.values)
+                g = views[info.grad_buf]
+                assert np.shares_memory(g, block.grads[1])
+                assert not np.shares_memory(g, block.grads[0])
+        finally:
+            block.close(unlink=True)
+            cnet.close()
+
+
+class TestSerialParity:
+    def test_workers1_sync_is_bitwise_serial(self):
+        """The acceptance bar: one process worker = the serial loop,
+        loss trajectory and parameters bitwise."""
+        data, labels = _task(128)
+        ds = Dataset(data, labels)
+
+        serial = _build()
+        h_serial = solve(_solver(), serial, ds,
+                         rng=np.random.default_rng(7))
+        w_serial = _params(serial)
+        serial.close()
+
+        proc = _build()
+        h_proc = solve(_solver(), proc, ds, workers=1,
+                       rng=np.random.default_rng(7))
+        w_proc = _params(proc)
+        proc.close()
+
+        assert h_serial.losses == h_proc.losses
+        for name in w_serial:
+            assert np.array_equal(w_serial[name], w_proc[name]), name
+
+    def test_original_arrays_restored_after_close(self):
+        """close() must hand the net back its pre-fork arrays (the
+        ensembles' field bindings alias them) holding trained values."""
+        data, labels = _task(64)
+        cnet = _build()
+        try:
+            before = {info.value_buf: cnet.buffers[info.value_buf]
+                      for info in cnet.plan.params}
+            with ProcessTrainer(cnet, 2) as tr:
+                tr.train_epoch(_solver(), data, labels,
+                               rng=np.random.default_rng(1))
+                trained = _params(cnet)
+            for name, arr in before.items():
+                assert cnet.buffers[name] is arr, name
+                assert np.array_equal(arr, trained[name]), name
+        finally:
+            cnet.close()
+
+
+@pytest.mark.parametrize("n_workers", [2, 4])
+def test_sync_reduce_is_deterministic(n_workers):
+    """Two identical runs at the same worker count produce bitwise
+    identical parameters — the fixed tree-reduction order at work."""
+    data, labels = _task(96)
+
+    def run():
+        cnet = _build()
+        with ProcessTrainer(cnet, n_workers, SyncReduce()) as tr:
+            for epoch in range(2):
+                tr.train_epoch(_solver(), data, labels,
+                               rng=np.random.default_rng(11 + epoch))
+            out = _params(cnet)
+        cnet.close()
+        return out
+
+    a, b = run(), run()
+    for name in a:
+        assert np.array_equal(a[name], b[name]), name
+
+
+class TestAsyncLossy:
+    def test_staleness_bound_is_honoured(self):
+        data, labels = _task(192)
+        cnet = _build()
+        try:
+            with ProcessTrainer(cnet, 2, AsyncLossy(max_staleness=2)) as tr:
+                loss = tr.train_epoch(_solver(), data, labels,
+                                      rng=np.random.default_rng(3))
+                assert np.isfinite(loss)
+                # spread is measured *before* each step completes, so
+                # the observed maximum can never exceed the bound
+                assert tr.last_max_spread <= 2
+                for info in cnet.plan.params:
+                    assert np.all(
+                        np.isfinite(cnet.buffers[info.value_buf]))
+        finally:
+            cnet.close()
+
+    def test_async_training_converges(self):
+        data, labels = _task()
+        cnet = _build()
+        try:
+            with ProcessTrainer(cnet, 2, AsyncLossy()) as tr:
+                solver = _solver()
+                first = last = None
+                for epoch in range(6):
+                    last = tr.train_epoch(
+                        solver, data, labels,
+                        rng=np.random.default_rng(epoch))
+                    if first is None:
+                        first = last
+                assert last < first * 0.5
+        finally:
+            cnet.close()
+
+    def test_max_staleness_validation(self):
+        with pytest.raises(ValueError):
+            AsyncLossy(max_staleness=-1)
+
+
+class TestFailureSurfacing:
+    def test_worker_exception_raises_worker_error(self):
+        data, labels = _task(64)
+        cnet = _build()
+        try:
+            with ProcessTrainer(cnet, 2) as tr:
+                bad = data[:, :5]  # wrong item width → worker-side raise
+                with pytest.raises(WorkerError) as ei:
+                    tr.train_epoch(_solver(), bad, labels,
+                                   rng=np.random.default_rng(0),
+                                   shuffle=False)
+                assert ei.value.worker in (0, 1)
+                assert "worker traceback" in str(ei.value)
+        finally:
+            cnet.close()
+
+    def test_ping(self):
+        cnet = _build()
+        try:
+            with ProcessTrainer(cnet, 2) as tr:
+                assert tr.ping() == [True, True]
+        finally:
+            cnet.close()
+
+
+class TestValidation:
+    def test_worker_count(self):
+        cnet = _build()
+        try:
+            with pytest.raises(ValueError):
+                ProcessTrainer(cnet, 0)
+        finally:
+            cnet.close()
+
+    def test_policy_type(self):
+        cnet = _build()
+        try:
+            with pytest.raises(TypeError):
+                ProcessTrainer(cnet, 1, policy="lossy")
+        finally:
+            cnet.close()
+
+    def test_solve_rejects_policy_without_workers(self):
+        data, labels = _task(32)
+        cnet = _build()
+        try:
+            with pytest.raises(ValueError):
+                solve(_solver(), cnet, Dataset(data, labels),
+                      reduce_policy=SyncReduce())
+        finally:
+            cnet.close()
