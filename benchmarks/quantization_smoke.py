@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Reduced-precision inference measurements (docs/QUANTIZATION.md).
+
+This is the ``quantization`` CI job body, runnable locally::
+
+    PYTHONPATH=src python benchmarks/quantization_smoke.py
+
+Three measurements over the fig14 ImageNet-model geometry:
+
+* **fp16 memory** — planned non-parameter bytes (the arena planner's
+  byte-addressed accounting) at ``precision="fp16"`` vs fp32 for each
+  fig14 model; the reduction must be at least :data:`MIN_FP16_REDUCTION`
+  (activations dominate, so halving element size approaches 50%).
+* **int8 accuracy** — AlexNet calibrated on its own input batch, then
+  compiled at int8: max-abs-delta against the fp32 output (gated as a
+  fraction of the fp32 output's value range, mirroring the oracle's
+  ``quant:int8`` tier), top-1 agreement, and bitwise run-to-run
+  determinism of the quantized forward.
+* **serving latency** — one in-process :class:`ModelServer` per
+  precision from the same checkpoint, median ``predict`` latency, so
+  the quantized serving path's overhead is visible next to fp32.
+
+Measurements land in ``benchmarks/results/BENCH_quantization.json``.
+"""
+
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+from harness import (  # noqa: E402
+    BENCH_GEOMETRY,
+    make_inputs,
+    measure_memory,
+    record_quantization,
+)
+
+from repro.models import (  # noqa: E402
+    alexnet_config,
+    build_latte,
+    overfeat_config,
+    vgg_config,
+)
+from repro.optim import CompilerOptions  # noqa: E402
+from repro.quant import calibrate  # noqa: E402
+from repro.serve import save_checkpoint  # noqa: E402
+from repro.serve.server import ModelServer  # noqa: E402
+from repro.utils.rng import seed_all  # noqa: E402
+
+_CONFIGS = {
+    "alexnet": alexnet_config,
+    "overfeat": overfeat_config,
+    "vgg": vgg_config,
+}
+
+#: fp16 must shed at least this fraction of planned non-parameter bytes
+MIN_FP16_REDUCTION = 0.40
+#: int8 max-abs-delta budget as a fraction of the fp32 output range
+#: (the oracle's ``quant_int8_range_frac`` tier)
+MAX_INT8_RANGE_FRAC = 0.2
+#: predict() calls per precision for the serving latency median
+LATENCY_ITERS = 15
+
+
+def _config(name):
+    scale, size, batch = BENCH_GEOMETRY[name]
+    return _CONFIGS[name]().scaled(scale, size), batch
+
+
+def measure_fp16_memory(failures):
+    """Planned-bytes ratio fp16 vs fp32 for each fig14 model."""
+    out = {}
+    for name in sorted(_CONFIGS):
+        cfg, batch = _config(name)
+        fp32 = measure_memory(cfg, batch, mode="inference")
+        fp16 = measure_memory(cfg, batch, mode="inference",
+                              precision="fp16")
+        reduction = 1.0 - fp16["planned_bytes"] / fp32["planned_bytes"]
+        out[name] = {
+            "fp32_planned_bytes": fp32["planned_bytes"],
+            "fp16_planned_bytes": fp16["planned_bytes"],
+            "fp16_reduction": round(reduction, 4),
+        }
+        if reduction < MIN_FP16_REDUCTION:
+            failures.append(
+                f"{name}: fp16 sheds only {reduction:.1%} of planned "
+                f"bytes (need >= {MIN_FP16_REDUCTION:.0%})")
+    return out
+
+
+def _forward_output(cfg, batch, x, y, precision, calibration=None):
+    seed_all(1)
+    built = build_latte(cfg, batch)
+    cnet = built.init(
+        CompilerOptions.inference(4, precision=precision),
+        calibration=calibration,
+    )
+    cnet.forward(data=x, label=y)
+    out = cnet.value(built.output.name).copy()
+    cnet.close()
+    return out
+
+
+def measure_int8_accuracy(failures):
+    """Calibrated int8 AlexNet against its fp32 reference."""
+    cfg, batch = _config("alexnet")
+    x, y = make_inputs(cfg, batch)
+    seed_all(1)
+    calibration = calibrate(build_latte(cfg, batch).net,
+                            [{"data": x, "label": y}])
+    ref = _forward_output(cfg, batch, x, y, "fp32")
+    got = _forward_output(cfg, batch, x, y, "int8", calibration)
+    again = _forward_output(cfg, batch, x, y, "int8", calibration)
+
+    out_range = float(ref.max() - ref.min())
+    delta = float(np.abs(got - ref).max())
+    agreement = float(np.mean(
+        np.argmax(got, axis=1) == np.argmax(ref, axis=1)))
+    deterministic = bool(np.array_equal(got, again))
+    if not deterministic:
+        failures.append("int8 forward is not run-to-run bitwise stable")
+    if delta > MAX_INT8_RANGE_FRAC * max(out_range, 1e-3):
+        failures.append(
+            f"int8 max-abs-delta {delta:.4g} exceeds "
+            f"{MAX_INT8_RANGE_FRAC:.0%} of the fp32 output range "
+            f"{out_range:.4g}")
+    return {
+        "model": "alexnet",
+        "max_abs_delta": round(delta, 6),
+        "fp32_output_range": round(out_range, 6),
+        "range_fraction": round(delta / max(out_range, 1e-3), 6),
+        "top1_agreement": round(agreement, 4),
+        "deterministic": deterministic,
+    }, calibration
+
+
+def measure_serving_latency(calibration):
+    """Median predict() latency per precision from one checkpoint."""
+    cfg, batch = _config("alexnet")
+    x, _ = make_inputs(cfg, batch)
+    out = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        seed_all(1)
+        built = build_latte(cfg, batch)
+        cnet = built.init(CompilerOptions.inference(1))
+        checkpoint = os.path.join(tmp, "alexnet.npz")
+        save_checkpoint(checkpoint, cnet, config=cfg,
+                        output=built.output.name)
+        cnet.close()
+        calib_path = os.path.join(tmp, "calibration.json")
+        calibration.save(calib_path)
+        for precision in ("fp32", "fp16", "int8"):
+            calib = calib_path if precision == "int8" else None
+            with ModelServer.from_checkpoint(
+                    checkpoint, batch_size=batch, precision=precision,
+                    calibration=calib) as server:
+                server.predict(x[0], timeout=60.0)  # warmup
+                samples = []
+                for _ in range(LATENCY_ITERS):
+                    t0 = time.perf_counter()
+                    server.predict(x[0], timeout=60.0)
+                    samples.append(time.perf_counter() - t0)
+                out[precision] = {
+                    "p50_ms": round(statistics.median(samples) * 1e3, 3),
+                    "iters": LATENCY_ITERS,
+                }
+    return out
+
+
+def main() -> int:
+    failures = []
+    models = measure_fp16_memory(failures)
+    int8, calibration = measure_int8_accuracy(failures)
+    serving = measure_serving_latency(calibration)
+    payload = {
+        "min_fp16_reduction": MIN_FP16_REDUCTION,
+        "max_int8_range_frac": MAX_INT8_RANGE_FRAC,
+        "models": models,
+        "int8": int8,
+        "serving_latency": serving,
+        "ok": not failures,
+    }
+    record_quantization(payload)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,8 @@
 """Compile-cache CLI: ``python -m repro.cache {ls,prune,warm}``.
 
-* ``ls``    — list entries (key prefix, model, size, age), LRU-newest
-  first, plus the directory total against the eviction bound.
+* ``ls``    — list entries (key prefix, model, backend, precision,
+  size, age), LRU-newest first, plus the directory total against the
+  eviction bound; ``--json`` emits the same listing machine-readably.
 * ``prune`` — delete one entry by key prefix, drop everything with
   ``--all``, or re-apply the size bound with ``--max-bytes``.
 * ``warm``  — pre-populate the cache from a checkpoint so the *next*
@@ -36,18 +37,38 @@ def _fmt_age(seconds: float) -> str:
 
 
 def _cmd_ls(args) -> int:
+    import json
+
     from repro.cache import CompileCache
 
     cache = CompileCache(args.cache_dir)
     entries = cache.entries()
+    now = time.time()
+    if args.json:
+        payload = {
+            "root": str(cache.root),
+            "max_bytes": cache.max_bytes,
+            "total_bytes": sum(e.size_bytes for e in entries),
+            "entries": [
+                {"key": e.key, "model": e.model,
+                 "backend": e.backend, "precision": e.precision,
+                 "size_bytes": e.size_bytes,
+                 "age_seconds": max(0.0, now - e.mtime),
+                 "created": e.created}
+                for e in entries
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     if not entries:
         print(f"compile cache {cache.root}: empty")
         return 0
-    now = time.time()
     print(f"compile cache {cache.root}:")
-    print(f"{'key':14s} {'model':24s} {'size':>9s} {'age':>6s}")
+    print(f"{'key':14s} {'model':24s} {'backend':8s} {'prec':5s} "
+          f"{'size':>9s} {'age':>6s}")
     for e in entries:
         print(f"{e.key[:12] + '..':14s} {e.model[:24]:24s} "
+              f"{e.backend[:8]:8s} {e.precision[:5]:5s} "
               f"{_fmt_bytes(e.size_bytes):>9s} "
               f"{_fmt_age(max(0.0, now - e.mtime)):>6s}")
     total = sum(e.size_bytes for e in entries)
@@ -117,7 +138,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "~/.cache/latte-repro/compile)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("ls", help="list cache entries")
+    p_ls = sub.add_parser("ls", help="list cache entries")
+    p_ls.add_argument("--json", action="store_true",
+                      help="emit the listing as machine-readable JSON")
 
     p_prune = sub.add_parser("prune", help="delete entries")
     p_prune.add_argument("key", nargs="?", default=None,

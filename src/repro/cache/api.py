@@ -64,7 +64,8 @@ def _build_from(builder: dict, batch: int):
 
 def compile_cached(model, batch_size: Optional[int] = None, *, net=None,
                    options=None, tracer=None, num_threads=None,
-                   keep_alive=None, watchdog=None, cache=None):
+                   keep_alive=None, watchdog=None, cache=None,
+                   calibration=None):
     """Compile ``model`` through the persistent compilation cache.
 
     Parameters
@@ -84,6 +85,11 @@ def compile_cached(model, batch_size: Optional[int] = None, *, net=None,
     cache:
         A :class:`~repro.cache.store.CompileCache`, a directory path, or
         ``None`` for the default store (``REPRO_CACHE_DIR``).
+    calibration:
+        A :class:`~repro.quant.CalibrationResult` for
+        ``options.precision='int8'`` compiles. Its digest is part of
+        the cache key, so programs quantized from different range
+        profiles never collide.
 
     Other keywords mirror :func:`repro.optim.pipeline.compile_net`.
     """
@@ -113,7 +119,8 @@ def compile_cached(model, batch_size: Optional[int] = None, *, net=None,
     if options is None:
         options = CompilerOptions()
     nt = resolve_num_threads(num_threads)
-    key = cache_key(builder, batch_size, options, nt, keep_alive)
+    key = cache_key(builder, batch_size, options, nt, keep_alive,
+                    calibration)
     store = _as_cache(cache)
 
     entry = store.get(key)
@@ -143,7 +150,8 @@ def compile_cached(model, batch_size: Optional[int] = None, *, net=None,
     if net is None:
         net = _build_from(builder, batch_size)
     cnet = compile_net(net, options, tracer=tracer, num_threads=nt,
-                       keep_alive=keep_alive, watchdog=watchdog)
+                       keep_alive=keep_alive, watchdog=watchdog,
+                       calibration=calibration)
     cnet.compile_report.cache_key = key
     try:
         meta, arrays = freeze(cnet)

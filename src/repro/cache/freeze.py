@@ -88,6 +88,7 @@ def _buffer_dicts(net, plan) -> List[dict]:
             "alias_reshape": ([int(x) for x in spec.alias_reshape]
                               if spec.alias_reshape is not None else None),
             "needs_zero": bool(spec.needs_zero),
+            "dtype": spec.dtype,
         }
         if spec.array is not None:
             ref = fields.get(spec.name)
@@ -120,8 +121,8 @@ def _step_dict(step: Step) -> dict:
 def _memory_dict(mem: MemoryPlan) -> dict:
     return {
         "offsets": {k: int(v) for k, v in mem.offsets.items()},
-        "arena_elems": int(mem.arena_elems),
-        "slabs": [{"offset": int(s.offset), "elems": int(s.elems),
+        "arena_bytes": int(mem.arena_bytes),
+        "slabs": [{"offset": int(s.offset), "nbytes": int(s.nbytes),
                    "members": list(s.members)} for s in mem.slabs],
         "pooled": sorted(mem.pooled),
         "zero_defs": {k: [v[0], int(v[1])]
@@ -268,6 +269,9 @@ def freeze(cnet) -> Tuple[dict, Dict[str, np.ndarray]]:
         },
         "memory": (_memory_dict(plan.memory)
                    if plan.memory is not None else None),
+        # reduced-precision plan (repro.quant), None for fp32 compiles
+        "quant": (plan.quant.to_dict()
+                  if getattr(plan, "quant", None) is not None else None),
         "closures": _closure_descriptors(
             cnet.net, plan, compiled.closures, arrays
         ),
@@ -302,6 +306,7 @@ def _rebuild_plan(net, meta, arrays) -> BufferPlan:
             alias_reshape=(tuple(d["alias_reshape"])
                            if d["alias_reshape"] is not None else None),
             needs_zero=d["needs_zero"],
+            dtype=d.get("dtype", "float32"),
         )
         if d.get("field") is not None:
             ens_name, fname = d["field"]
@@ -334,8 +339,8 @@ def _rebuild_plan(net, meta, arrays) -> BufferPlan:
     if md is not None:
         plan.memory = MemoryPlan(
             offsets=dict(md["offsets"]),
-            arena_elems=md["arena_elems"],
-            slabs=[Slab(s["offset"], s["elems"], list(s["members"]))
+            arena_bytes=md["arena_bytes"],
+            slabs=[Slab(s["offset"], s["nbytes"], list(s["members"]))
                    for s in md["slabs"]],
             pooled=frozenset(md["pooled"]),
             zero_defs={k: (v[0], v[1]) for k, v in md["zero_defs"].items()},
@@ -348,6 +353,11 @@ def _rebuild_plan(net, meta, arrays) -> BufferPlan:
             planned_bytes=md["planned_bytes"],
             kept_reasons=dict(md["kept_reasons"]),
         )
+    qd = meta.get("quant")
+    if qd is not None:
+        from repro.quant.precision import QuantPlan
+
+        plan.quant = QuantPlan.from_dict(qd)
     return plan
 
 

@@ -45,7 +45,11 @@ BACKEND_ID = BACKEND_IDS["numpy"]
 #: v2: entries may carry a ``c_exec`` native-program rebuild recipe
 #: v3: C-backend entries embed the built ``.so`` bytes (keyed on the
 #:     toolchain fingerprint) so warm boots never invoke the compiler
-FORMAT_VERSION = 3
+#: v4: buffers carry storage dtypes, the memory plan is byte-addressed
+#:     (``arena_bytes``/slab ``nbytes``), entries may carry a ``quant``
+#:     reduced-precision plan, and int8 keys include the calibration
+#:     profile digest
+FORMAT_VERSION = 4
 
 
 class CacheUnsupported(ValueError):
@@ -93,10 +97,13 @@ def canonical_json(obj) -> str:
 
 
 def cache_key(builder: dict, batch_size: int, options, num_threads: int,
-              keep_alive) -> str:
+              keep_alive, calibration=None) -> str:
     """SHA-256 hex key over the canonical compile identity (see module
     docstring). ``keep_alive=None`` means the mode-dependent default and
-    hashes as a sentinel distinct from any explicit set."""
+    hashes as a sentinel distinct from any explicit set. ``calibration``
+    (a :class:`~repro.quant.CalibrationResult` or its digest string)
+    keys int8 programs by the exact range profile their scales came
+    from; fp32/fp16 keys ignore it."""
     import repro
 
     identity = {
@@ -111,6 +118,10 @@ def cache_key(builder: dict, batch_size: int, options, num_threads: int,
         "numpy_version": np.__version__,
         "format_version": FORMAT_VERSION,
     }
+    if getattr(options, "precision", "fp32") == "int8":
+        if calibration is not None and not isinstance(calibration, str):
+            calibration = calibration.digest()
+        identity["calibration"] = calibration
     if getattr(options, "backend", "numpy") == "c":
         # C-backend entries embed built .so bytes, so the key must
         # change with the (compiler, flags) pair that produced them

@@ -62,6 +62,8 @@ class CacheEntryInfo:
     mtime: float
     model: str = "?"
     created: float = 0.0
+    backend: str = "?"
+    precision: str = "?"
 
 
 class CompileCache:
@@ -168,6 +170,9 @@ class CompileCache:
                     )
                 info.model = str(meta.get("model", "?"))
                 info.created = float(meta.get("created", 0.0))
+                opts = meta.get("options") or {}
+                info.backend = str(opts.get("backend", "numpy"))
+                info.precision = str(opts.get("precision", "fp32"))
             except Exception:
                 info.model = "<corrupt>"
             out.append(info)

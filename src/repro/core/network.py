@@ -114,7 +114,8 @@ class Net:
     # -- compilation -----------------------------------------------------
 
     def init(self, options: Optional[object] = None, tracer=None,
-             num_threads=None, keep_alive=None, watchdog=None):
+             num_threads=None, keep_alive=None, watchdog=None,
+             calibration=None):
         """Compile the network and allocate buffers (the paper's ``init``).
 
         Returns a :class:`~repro.runtime.executor.CompiledNet`. ``options``
@@ -125,14 +126,16 @@ class Net:
         of parallel-annotated steps (default: the ``REPRO_NUM_THREADS``
         environment variable, else serial). ``keep_alive`` restricts
         which ensembles stay inspectable under the memory planner, and
-        ``watchdog`` attaches a numerics watchdog to the executor (see
+        ``watchdog`` attaches a numerics watchdog to the executor, and
+        ``calibration`` supplies the activation-range profile required
+        for ``options.precision='int8'`` (see
         :func:`repro.optim.pipeline.compile_net`).
         """
         from repro.optim.pipeline import compile_net
 
         return compile_net(self, options, tracer=tracer,
                            num_threads=num_threads, keep_alive=keep_alive,
-                           watchdog=watchdog)
+                           watchdog=watchdog, calibration=calibration)
 
 
 def add_connections(net: Net, source, sink, mapping, recurrent: bool = False):

@@ -43,11 +43,12 @@ class BuiltModel:
     loss: Optional[object]
 
     def init(self, options=None, tracer=None, num_threads=None,
-             keep_alive=None, watchdog=None):
+             keep_alive=None, watchdog=None, calibration=None):
         """Compile the network (the paper's ``init``)."""
         return self.net.init(options, tracer=tracer,
                              num_threads=num_threads,
-                             keep_alive=keep_alive, watchdog=watchdog)
+                             keep_alive=keep_alive, watchdog=watchdog,
+                             calibration=calibration)
 
 
 def build_latte(config: ModelConfig, batch_size: int,

@@ -90,6 +90,17 @@ class CompilerOptions:
     #: and the memory planner defaults to an empty ``keep_alive`` set
     #: for maximum activation-slab reuse. See docs/SERVING.md.
     mode: str = "train"
+    #: inference numeric precision (docs/QUANTIZATION.md): ``'fp32'``
+    #: (default) leaves every buffer float32; ``'fp16'`` retypes the
+    #: non-parameter activation/staging buffers to float16 (≈50% of the
+    #: planned arena bytes, toleranced accuracy); ``'int8'`` additionally
+    #: fake-quantizes activations per-tensor affine and weights
+    #: per-tensor symmetric from a calibration range profile
+    #: (``compile_net(calibration=...)`` — required for int8). Both
+    #: reduced precisions require ``mode='inference'`` and the NumPy
+    #: backend; unsupported (extern-closure) steps fall back to fp32
+    #: per-buffer with reasons recorded in ``compile_report``.
+    precision: str = "fp32"
 
     def __post_init__(self):
         if self.mode not in ("train", "inference"):
@@ -100,6 +111,23 @@ class CompilerOptions:
             raise ValueError(
                 f"backend must be 'numpy' or 'c', got {self.backend!r}"
             )
+        if self.precision not in ("fp32", "fp16", "int8"):
+            raise ValueError(
+                f"precision must be 'fp32', 'fp16' or 'int8', "
+                f"got {self.precision!r}"
+            )
+        if self.precision != "fp32":
+            if self.mode != "inference":
+                raise ValueError(
+                    f"precision={self.precision!r} requires "
+                    f"mode='inference' (training stays fp32); use "
+                    f"CompilerOptions.inference(precision=...)"
+                )
+            if self.backend != "numpy":
+                raise ValueError(
+                    f"precision={self.precision!r} requires the NumPy "
+                    f"backend (the C kernels are float32-only)"
+                )
         self.check_numerics = int(self.check_numerics)
         if self.check_numerics < 0:
             raise ValueError("check_numerics must be >= 0")
@@ -120,9 +148,11 @@ class CompilerOptions:
         )
 
     @classmethod
-    def inference(cls, n: int = 4) -> "CompilerOptions":
-        """Forward-only compilation at opt level ``n`` (default O4)."""
-        return replace(cls.level(n), mode="inference")
+    def inference(cls, n: int = 4,
+                  precision: str = "fp32") -> "CompilerOptions":
+        """Forward-only compilation at opt level ``n`` (default O4),
+        optionally at reduced precision (``'fp16'`` / ``'int8'``)."""
+        return replace(cls.level(n), mode="inference", precision=precision)
 
 
 OPT_LEVELS = {f"O{n}": CompilerOptions.level(n) for n in range(5)}
@@ -148,7 +178,8 @@ def resolve_num_threads(num_threads=None) -> int:
 
 
 def compile_net(net, options: CompilerOptions | None = None, tracer=None,
-                num_threads=None, keep_alive=None, watchdog=None):
+                num_threads=None, keep_alive=None, watchdog=None,
+                calibration=None):
     """Compile a :class:`~repro.core.network.Net` into a
     :class:`~repro.runtime.executor.CompiledNet`.
 
@@ -193,6 +224,12 @@ def compile_net(net, options: CompilerOptions | None = None, tracer=None,
         — or, when ``options.check_numerics`` is N >= 1, a fresh
         raising watchdog sampling every Nth step. See
         docs/OBSERVABILITY.md.
+    calibration:
+        A :class:`repro.quant.CalibrationResult` (per-buffer activation
+        ranges recorded by :func:`repro.quant.calibrate`) consumed by
+        the ``precision`` pass. Required for
+        ``options.precision == 'int8'``; ignored for fp32/fp16. See
+        docs/QUANTIZATION.md.
     """
     from repro.runtime.executor import CompiledNet
 
@@ -338,6 +375,25 @@ def compile_net(net, options: CompilerOptions | None = None, tracer=None,
         before=lambda: counts["steps"],
         after=lambda: counts["steps"],
     )
+
+    # reduced-precision rewrite (repro.quant): retype inference buffers
+    # to fp16, or attach int8 fake-quant scale/zero-point plans driven by
+    # the calibration ranges — before the memory planner, so slab sizes
+    # and planned-bytes accounting see the final dtypes
+    quantized = options.precision != "fp32"
+    if quantized:
+        from repro.quant.precision import apply_precision
+
+        run_pass(
+            "precision",
+            True,
+            lambda: apply_precision(
+                plan, fwd_items, options.precision, calibration
+            ),
+            lambda: plan.quant.stats() if plan.quant is not None else {},
+            before=lambda: counts["steps"],
+            after=lambda: counts["steps"],
+        )
 
     # whole-program liveness + arena reuse: runs last so intervals see
     # the final schedule (fusion order, parallel privatization marks).

@@ -1,0 +1,183 @@
+"""The ``precision`` compiler pass (``CompilerOptions(precision=...)``).
+
+Runs after schedule construction and buffer pruning but **before** the
+memory planner, so the liveness arena is packed with the reduced
+element sizes (fp16 halves the planned non-parameter bytes).
+
+Two modes, both inference-only:
+
+* ``fp16`` — retype every non-parameter activation/staging buffer to
+  float16. Parameters stay float32 (NumPy promotes mixed-precision
+  kernels to float32 and casts back on store, which is exactly the
+  usual mixed-precision inference recipe). Buffers touched by extern
+  Python closures (softmax loss, normalization statistics, gathers)
+  keep float32 — those closures were written against float32 arrays —
+  and the fallback is recorded per-buffer with a reason.
+
+* ``int8`` — storage stays float32 (the NumPy kernels keep running
+  unmodified) but the executor fake-quantizes through a real int8
+  grid: weights symmetric per-tensor at the start of every forward,
+  activations affine per-tensor after each producing step, with scales
+  and zero points chosen here from the calibration range profile
+  (:mod:`repro.quant.calibrate` — required; compiling int8 without one
+  raises :class:`~repro.quant.calibrate.CalibrationError`). This
+  models int8 accuracy and storage faithfully — every tensor value is
+  exactly int8-representable and the executor keeps true ``int8``
+  mirror arrays — while keeping the float execution engine.
+
+The resulting :class:`QuantPlan` is attached as ``plan.quant``; its
+:meth:`~QuantPlan.stats` feed the ``precision`` row of the compile
+report, and it round-trips through the compilation cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.ir import CommCall, ExternOp
+from repro.quant.calibrate import CalibrationError, CalibrationResult
+from repro.quant.qparams import QParams, choose_qparams
+
+#: buffer roles eligible for reduced precision — everything else
+#: (parameter fields, gradients kept for solver plumbing) stays fp32
+_ELIGIBLE_ROLES = ("value", "input", "padded")
+
+
+@dataclass
+class QuantPlan:
+    """What the precision pass decided, attached as ``plan.quant``."""
+
+    precision: str
+    #: base buffers retyped away from float32 (fp16 mode)
+    dtypes: Dict[str, str] = field(default_factory=dict)
+    #: base buffer -> activation quantization params (int8 mode)
+    qparams: Dict[str, QParams] = field(default_factory=dict)
+    #: parameter value buffers the executor fake-quantizes per forward
+    weight_bufs: Tuple[str, ...] = ()
+    #: base buffer -> reason it stayed fp32
+    fallbacks: Dict[str, str] = field(default_factory=dict)
+    #: digest of the calibration profile that produced the scales
+    calibration_digest: Optional[str] = None
+
+    def stats(self) -> Dict[str, int]:
+        """Rewrite counters for the compile report's ``precision`` row."""
+        out: Dict[str, int] = {}
+        if self.precision == "fp16":
+            out["buffers_fp16"] = len(self.dtypes)
+        elif self.precision == "int8":
+            out["activations_int8"] = len(self.qparams)
+            out["weights_int8"] = len(self.weight_bufs)
+        for reason in self.fallbacks.values():
+            key = "fallback_" + reason.replace("-", "_")
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    # -- serialization (compilation cache) -----------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "precision": self.precision,
+            "dtypes": {k: self.dtypes[k] for k in sorted(self.dtypes)},
+            "qparams": {k: self.qparams[k].to_dict()
+                        for k in sorted(self.qparams)},
+            "weight_bufs": list(self.weight_bufs),
+            "fallbacks": {k: self.fallbacks[k]
+                          for k in sorted(self.fallbacks)},
+            "calibration_digest": self.calibration_digest,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "QuantPlan":
+        return cls(
+            precision=str(d["precision"]),
+            dtypes={str(k): str(v) for k, v in d.get("dtypes", {}).items()},
+            qparams={str(k): QParams.from_dict(v)
+                     for k, v in d.get("qparams", {}).items()},
+            weight_bufs=tuple(d.get("weight_bufs", ())),
+            fallbacks={str(k): str(v)
+                       for k, v in d.get("fallbacks", {}).items()},
+            calibration_digest=d.get("calibration_digest"),
+        )
+
+
+def extern_touched_buffers(plan, fwd_items) -> set:
+    """Base buffer names any extern (opaque Python closure) step touches.
+
+    Extern closures are compiled against float32 arrays and may read or
+    write their buffers outside the generated-kernel discipline, so the
+    precision pass never retypes or fake-quantizes them.
+    """
+    touched = set()
+    for item in fwd_items:
+        if isinstance(item, CommCall):
+            continue
+        for unit in item.units:
+            if isinstance(unit.stmt, ExternOp):
+                for b in unit.stmt.buffers:
+                    if b in plan.buffers:
+                        touched.add(plan.resolve_alias(b))
+    return touched
+
+
+def _candidate_bases(plan):
+    for spec in plan.buffers.values():
+        if (spec.alias_of is None and spec.array is None
+                and spec.role in _ELIGIBLE_ROLES):
+            yield spec
+
+
+def apply_precision(plan, fwd_items, precision: str,
+                    calibration=None) -> QuantPlan:
+    """Rewrite ``plan`` for reduced-precision inference (see module doc).
+
+    Mutates buffer dtypes in place (fp16), decides quantization
+    parameters (int8), attaches and returns the :class:`QuantPlan`.
+    """
+    extern = extern_touched_buffers(plan, fwd_items)
+
+    if precision == "fp16":
+        qp = QuantPlan(precision="fp16")
+        for spec in _candidate_bases(plan):
+            if spec.name in extern:
+                qp.fallbacks[spec.name] = "extern-step"
+                continue
+            spec.dtype = "float16"
+            qp.dtypes[spec.name] = "float16"
+        # aliases are views of their base — keep the table consistent
+        for spec in plan.buffers.values():
+            if spec.alias_of is not None:
+                spec.dtype = plan.buffers[plan.resolve_alias(spec.name)].dtype
+    elif precision == "int8":
+        if calibration is None:
+            raise CalibrationError(
+                "precision='int8' requires a calibration range profile: "
+                "run repro.quant.calibrate(net, batches) on representative "
+                "inputs and pass the result via compile_net(calibration=...) "
+                "(or Checkpoint.compile(calibration=...))"
+            )
+        if isinstance(calibration, dict):
+            calibration = CalibrationResult.from_dict(calibration)
+        qp = QuantPlan(precision="int8",
+                       calibration_digest=calibration.digest())
+        for spec in _candidate_bases(plan):
+            if spec.role != "value":
+                continue
+            if spec.name in extern:
+                qp.fallbacks[spec.name] = "extern-step"
+                continue
+            rng = calibration.range(spec.name)
+            if rng is None:
+                qp.fallbacks[spec.name] = "uncalibrated"
+                continue
+            qp.qparams[spec.name] = choose_qparams(rng[0], rng[1])
+        qp.weight_bufs = tuple(sorted(
+            info.value_buf for info in plan.params
+            if plan.buffers[info.value_buf].array is not None
+            and plan.buffers[info.value_buf].array.ndim >= 2
+        ))
+    else:  # pragma: no cover — pipeline only calls for fp16/int8
+        raise ValueError(f"unknown precision {precision!r}")
+
+    plan.quant = qp
+    return qp

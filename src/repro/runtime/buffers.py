@@ -41,28 +41,33 @@ def allocate(plan: BufferPlan) -> Dict[str, np.ndarray]:
     deferred = []
     mem = plan.memory
     arena = None
-    if mem is not None and mem.arena_elems:
-        arena = np.zeros(mem.arena_elems, DTYPE)
+    if mem is not None and mem.arena_bytes:
+        # a byte arena: buffers of any dtype carve typed views out of it
+        arena = np.zeros(mem.arena_bytes, np.uint8)
 
     for spec in plan.buffers.values():
         if spec.alias_of is not None:
             deferred.append(spec)
             continue
+        dtype = spec.np_dtype
         if spec.array is not None:
             arr = spec.array
-            if arr.dtype != DTYPE:
+            if arr.dtype != dtype:
                 raise TypeError(
                     f"buffer {spec.name!r}: parameter arrays must be "
-                    f"float32, got {arr.dtype}"
+                    f"{dtype.name}, got {arr.dtype}"
                 )
             bufs[spec.name] = arr
         elif arena is not None and spec.name in mem.offsets:
             shape = full_shape(plan, spec)
             n = int(np.prod(shape, dtype=np.int64)) if shape else 1
             off = mem.offsets[spec.name]
-            bufs[spec.name] = arena[off:off + n].reshape(shape)
+            nbytes = n * dtype.itemsize
+            bufs[spec.name] = (
+                arena[off:off + nbytes].view(dtype).reshape(shape)
+            )
         else:
-            bufs[spec.name] = np.zeros(full_shape(plan, spec), DTYPE)
+            bufs[spec.name] = np.zeros(full_shape(plan, spec), dtype)
 
     remaining = deferred
     while remaining:

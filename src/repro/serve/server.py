@@ -117,6 +117,12 @@ class ModelServer:
         self.label_name = label_name
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.logger = logger if logger is not None else get_logger()
+        #: numeric precision the replicas were compiled at — a label on
+        #: the request counters, so mixed-precision fleets stay tellable
+        #: apart on one aggregated /metrics page
+        self.precision = str(getattr(
+            getattr(self.replicas[0], "options", None), "precision", "fp32"
+        ))
         self.checkpoint_path = checkpoint_path
         self.checkpoint_mtime = checkpoint_mtime
         self.item_shape = tuple(
@@ -148,12 +154,14 @@ class ModelServer:
         r = self.registry
         self._m_requests = r.counter(
             "serve_requests_total",
-            "Prediction requests by outcome (served|shed|error)",
-            labels=("outcome",),
+            "Prediction requests by outcome (served|shed|error) and "
+            "compile precision (fp32|fp16|int8)",
+            labels=("outcome", "precision"),
         )
         # pre-touch the outcomes so a scrape before traffic shows zeros
         for outcome in ("served", "shed", "error"):
-            self._m_requests.inc(0, outcome=outcome)
+            self._m_requests.inc(0, outcome=outcome,
+                                 precision=self.precision)
         self._m_latency = r.histogram(
             "serve_request_latency_seconds",
             "End-to-end request latency, submit to completion",
@@ -232,7 +240,7 @@ class ModelServer:
         try:
             req = self.batcher.submit(item, request_id=rid)
         except QueueFullError as exc:
-            self._m_requests.inc(outcome="shed")
+            self._m_requests.inc(outcome="shed", precision=self.precision)
             log_event(self.logger, "shed", request_id=rid,
                       reason=exc.reason, queue_depth=exc.depth)
             raise
@@ -286,7 +294,8 @@ class ModelServer:
         except BaseException as exc:  # complete waiters, then bookkeep
             for req in batch:
                 req.fail(exc)
-            self._m_requests.inc(n, outcome="error")
+            self._m_requests.inc(n, outcome="error",
+                                 precision=self.precision)
             log_event(self.logger, "batch_error", replica=index,
                       request_ids=ids, error=str(exc),
                       error_type=type(exc).__name__)
@@ -296,7 +305,7 @@ class ModelServer:
         for i, req in enumerate(batch):
             req.complete(out[i], now - req.enqueued_at)
         rep = str(index)
-        self._m_requests.inc(n, outcome="served")
+        self._m_requests.inc(n, outcome="served", precision=self.precision)
         self._m_batches.inc(replica=rep)
         self._m_step_latency.observe(step_seconds, replica=rep)
         self._m_fill.observe(n / self.batch_size)
@@ -332,11 +341,14 @@ class ModelServer:
         bounded regardless of traffic."""
         lat = self._m_latency
         out: Dict[str, object] = {
-            "served": int(self._m_requests.value(outcome="served")),
-            "shed": int(self._m_requests.value(outcome="shed")),
+            "served": int(self._m_requests.value(
+                outcome="served", precision=self.precision)),
+            "shed": int(self._m_requests.value(
+                outcome="shed", precision=self.precision)),
             "batches": int(self._m_batches.total()),
             "replicas": len(self.replicas),
             "batch_size": self.batch_size,
+            "precision": self.precision,
             "queue_depth": self.batcher.depth(),
             "mean_batch_fill": round(self._m_fill.mean(), 4),
             # per-replica forward-only arena footprint (inference
@@ -379,7 +391,8 @@ class ModelServer:
                         replicas: int = 1, options=None,
                         output: Optional[str] = None,
                         num_threads: Optional[int] = None,
-                        tracer=None, cache=None, **kwargs) -> "ModelServer":
+                        tracer=None, cache=None, precision=None,
+                        calibration=None, **kwargs) -> "ModelServer":
         """Boot a server from a checkpoint artifact: rebuild the
         architecture, compile ``replicas`` forward-only copies at
         ``batch_size``, restore parameters once, and share them. The
@@ -392,7 +405,12 @@ class ModelServer:
         a millisecond thaw, and even cold the first replica's compile
         seeds the cache so replicas 2..N (and the next boot) are warm.
         Hit/miss counts and entry age land in the metrics registry
-        (``serve_compile_cache_*``)."""
+        (``serve_compile_cache_*``).
+
+        ``precision``/``calibration`` compile the replicas at reduced
+        inference precision (docs/QUANTIZATION.md); ``calibration`` may
+        be a :class:`repro.quant.CalibrationResult` or a path to a
+        saved range profile, and is required for ``precision='int8'``."""
         import os
 
         from repro.serve.checkpoint import load_checkpoint
@@ -406,7 +424,8 @@ class ModelServer:
         nets = [
             ck.compile(batch_size, options=options,
                        num_threads=num_threads, tracer=tracer,
-                       cache=cache)
+                       cache=cache, precision=precision,
+                       calibration=calibration)
             for _ in range(replicas)
         ]
         try:

@@ -53,9 +53,11 @@ from repro.core.ensemble import DataEnsemble, LossEnsemble
 from repro.ir import CommCall, ExternOp, buffers_read, buffers_written
 from repro.synthesis.plan import BufferPlan, BufferSpec
 
-#: float32 elements per alignment unit — 16 elements = 64 bytes, one
-#: cache line, matching what a fresh ``np.zeros`` typically provides
-ALIGN_ELEMS = 16
+#: arena slab alignment in bytes — 64 bytes, one cache line, matching
+#: what a fresh ``np.zeros`` typically provides; also guarantees every
+#: slab offset is a multiple of any member's itemsize, so typed views
+#: (``arena[off:off+n].view(dtype)``) are always legal
+ALIGN_BYTES = 64
 
 #: gradient-role buffers eligible for a scheduled zero def
 GRAD_ROLES = ("grad", "grad_input", "padded_grad")
@@ -89,19 +91,24 @@ class Interval:
 class Slab:
     """One shared region of the arena."""
 
-    offset: int  # float32 elements from arena start (aligned)
-    elems: int  # size in float32 elements (max over members)
+    offset: int  # bytes from arena start (64-byte aligned)
+    nbytes: int  # size in bytes (max over members, any dtype)
     members: List[str] = field(default_factory=list)
 
 
 @dataclass
 class MemoryPlan:
-    """Arena layout + bookkeeping produced by :func:`plan_memory`."""
+    """Arena layout + bookkeeping produced by :func:`plan_memory`.
 
-    #: base buffer name -> float32-element offset into the arena
+    All offsets and sizes are **bytes** — buffers of different dtypes
+    (fp32/fp16/int8 after the precision pass) share one ``uint8`` arena
+    through typed views, so element counts would be ambiguous.
+    """
+
+    #: base buffer name -> byte offset into the arena
     offsets: Dict[str, int] = field(default_factory=dict)
-    #: total arena size in float32 elements
-    arena_elems: int = 0
+    #: total arena size in bytes
+    arena_bytes: int = 0
     slabs: List[Slab] = field(default_factory=list)
     #: base buffers sharing arena storage (not individually allocated)
     pooled: frozenset = frozenset()
@@ -116,10 +123,6 @@ class MemoryPlan:
     planned_bytes: int = 0
     #: why each non-candidate buffer was kept (reporting/tests)
     kept_reasons: Dict[str, str] = field(default_factory=dict)
-
-    @property
-    def arena_bytes(self) -> int:
-        return 4 * self.arena_elems
 
     @property
     def saved_bytes(self) -> int:
@@ -160,6 +163,11 @@ def buffer_elems(plan: BufferPlan, spec: BufferSpec) -> int:
     for d in full_shape(plan, spec):
         n *= d
     return n
+
+
+def buffer_nbytes(plan: BufferPlan, spec: BufferSpec) -> int:
+    """Allocated size in bytes, honoring the spec's storage dtype."""
+    return buffer_elems(plan, spec) * spec.itemsize
 
 
 # ---------------------------------------------------------------------------
@@ -304,7 +312,7 @@ def prune_unused_buffers(plan: BufferPlan, fwd_items, bwd_items) -> Dict[str, in
     for name in dropped:
         spec = plan.buffers[name]
         if spec.alias_of is None and spec.array is None:
-            pruned_bytes += 4 * buffer_elems(plan, spec)
+            pruned_bytes += buffer_nbytes(plan, spec)
         del plan.buffers[name]
     return {"buffers_pruned": len(dropped), "bytes_pruned": pruned_bytes}
 
@@ -375,7 +383,7 @@ def reorder_backward(plan: BufferPlan, bwd_items: list) -> int:
         for b in reads | writes:
             touchers[b] = touchers.get(b, 0) + 1
     nbytes = {
-        b: 4 * buffer_elems(plan, plan.buffers[b])
+        b: buffer_nbytes(plan, plan.buffers[b])
         for b in touchers
         if plan.buffers[b].array is None
     }
@@ -512,7 +520,7 @@ def plan_memory(
             mem.zero_defs[base] = ("backward", first_bwd_item[base])
 
     # -- interval-graph coloring: first fit, largest first ------------------
-    elems = {b: buffer_elems(plan, plan.buffers[b]) for b in candidates}
+    sizes = {b: buffer_nbytes(plan, plan.buffers[b]) for b in candidates}
     multiphase = plan.time_steps > 1
 
     def conflicts(a: str, b: str) -> bool:
@@ -525,25 +533,25 @@ def plan_memory(
         return ia.overlaps(ib)
 
     slabs: List[Slab] = []
-    for b in sorted(candidates, key=lambda b: (-elems[b], b)):
+    for b in sorted(candidates, key=lambda b: (-sizes[b], b)):
         placed = None
         for slab in slabs:
             if all(not conflicts(b, m) for m in slab.members):
                 placed = slab
                 break
         if placed is None:
-            placed = Slab(offset=0, elems=0)
+            placed = Slab(offset=0, nbytes=0)
             slabs.append(placed)
         placed.members.append(b)
-        placed.elems = max(placed.elems, elems[b])
+        placed.nbytes = max(placed.nbytes, sizes[b])
 
     offset = 0
     for slab in slabs:
         slab.offset = offset
         for m in slab.members:
             mem.offsets[m] = offset
-        offset += -(-slab.elems // ALIGN_ELEMS) * ALIGN_ELEMS
-    mem.arena_elems = offset
+        offset += -(-slab.nbytes // ALIGN_BYTES) * ALIGN_BYTES
+    mem.arena_bytes = offset
     mem.slabs = slabs
     mem.pooled = frozenset(candidates)
 
@@ -552,7 +560,7 @@ def plan_memory(
     for base, spec in plan.buffers.items():
         if spec.alias_of is not None or spec.array is not None:
             continue
-        nbytes = 4 * buffer_elems(plan, spec)
+        nbytes = buffer_nbytes(plan, spec)
         naive += nbytes
         if base not in mem.pooled:
             planned += nbytes

@@ -57,6 +57,17 @@ class BufferSpec:
     #: gradient-role buffers are zeroed before each backward pass unless
     #: the first-writer pass proved the first toucher overwrites them
     needs_zero: bool = True
+    #: storage dtype name; float32 everywhere unless the precision pass
+    #: (repro.quant) retypes inference buffers
+    dtype: str = "float32"
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(self.dtype)
+
+    @property
+    def itemsize(self) -> int:
+        return np.dtype(self.dtype).itemsize
 
 
 @dataclass
@@ -126,6 +137,9 @@ class BufferPlan:
     #: compile pipeline's ``memory_plan`` pass; None = every buffer is
     #: individually allocated
     memory: Optional[object] = None
+    #: reduced-precision plan (a :class:`repro.quant.qplan.QuantPlan`),
+    #: attached by the pipeline's ``precision`` pass; None = pure fp32
+    quant: Optional[object] = None
 
     def add(self, spec: BufferSpec) -> str:
         if spec.name in self.buffers:

@@ -41,6 +41,16 @@ Tolerance policy (see docs/TESTING.md and DESIGN.md §4b):
   sections and prunes gradient buffers but must never change what the
   forward computes: its output and loss are compared **bitwise**
   against the train graph run in eval mode at the same level.
+* **Reduced precision** (docs/QUANTIZATION.md) — fp16 retypes the
+  activation buffers, so its output sits inside the dedicated
+  ``quant_fp16`` tier against the fp32 inference reference; int8
+  fake-quantizes through a calibrated int8 grid and is gated on
+  max-abs-error as a fraction of the fp32 output's value range plus
+  top-1 agreement on confidently-classified items. Both quantized
+  paths are **bitwise** run-to-run deterministic (``np.rint`` plus a
+  fixed schedule leave no rounding nondeterminism), and an int8
+  freeze/thaw through the compile cache reproduces the cold compile's
+  exact bits.
 """
 
 from __future__ import annotations
@@ -76,6 +86,14 @@ TOLERANCES: Dict[str, Dict[str, float]] = {
         "thread_param_rtol": 1e-4, "thread_param_atol": 1e-6,
         "fd_atol": 5e-3, "fd_rtol": 1e-2,
         "baseline_rtol": 1e-3, "baseline_atol": 1e-4,
+        # reduced-precision accuracy tiers (docs/QUANTIZATION.md):
+        # fp16 carries ~3 decimal digits, so activations drift at the
+        # 1e-3 level per layer; int8 is gated on error relative to the
+        # fp32 output's value range (8 bits ≈ 0.4% grid steps, widened
+        # for accumulation through the net) and on top-1 agreement
+        "quant_fp16_rtol": 1e-2, "quant_fp16_atol": 2e-3,
+        "quant_int8_range_frac": 0.2,
+        "quant_int8_top1_margin_frac": 0.05,
     },
     # float64 would shrink the reassociation noise; kept for the day the
     # buffer dtype becomes configurable
@@ -88,6 +106,11 @@ TOLERANCES: Dict[str, Dict[str, float]] = {
         "thread_param_rtol": 1e-8, "thread_param_atol": 1e-11,
         "fd_atol": 1e-6, "fd_rtol": 1e-5,
         "baseline_rtol": 1e-7, "baseline_atol": 1e-9,
+        # quantization error is set by the int8/fp16 grids, not the
+        # accumulation dtype — same tiers as float32
+        "quant_fp16_rtol": 1e-2, "quant_fp16_atol": 2e-3,
+        "quant_int8_range_frac": 0.2,
+        "quant_int8_top1_margin_frac": 0.05,
     },
 }
 
@@ -197,6 +220,41 @@ def run_eval_forward(spec: NetSpec, level: int,
     return float(loss), cnet.value("head").copy()
 
 
+def run_quant_forward(spec: NetSpec, level: int, precision: str,
+                      calibration=None) -> Tuple[float, np.ndarray]:
+    """Build + compile ``spec`` forward-only at ``precision`` and run
+    one eval-mode forward pass on its deterministic inputs.
+
+    Reseeds from ``spec.seed`` first, so the parameters match the fp32
+    reference exactly — every output difference is quantization error,
+    not initialization drift. ``calibration`` is required by the
+    compiler for ``precision="int8"``.
+    """
+    seed_all(spec.seed)
+    net = build_net(spec)
+    opts = CompilerOptions.inference(level, precision=precision)
+    opts.min_tile_rows = 2
+    cnet = compile_net(net, opts, calibration=calibration)
+    x, y = make_inputs(spec)
+    loss = cnet.forward(data=x, label=y)
+    return float(loss), cnet.value("head").copy()
+
+
+def calibrate_spec(spec: NetSpec, level: int):
+    """Record an activation-range profile for ``spec`` on its own
+    deterministic inputs (the fuzz corpus has exactly one batch, so the
+    calibration set *is* the eval set — the best case for int8, which
+    is what an accuracy gate should measure)."""
+    from repro.quant import calibrate
+
+    seed_all(spec.seed)
+    net = build_net(spec)
+    opts = CompilerOptions.inference(level)
+    opts.min_tile_rows = 2
+    x, y = make_inputs(spec)
+    return calibrate(net, [{"data": x, "label": y}], options=opts)
+
+
 def _compare_arrays(check: str, name: str, got: np.ndarray,
                     want: np.ndarray, rtol: float, atol: float,
                     out: List[Mismatch], bitwise: bool = False) -> None:
@@ -302,6 +360,114 @@ def _run_cache_roundtrip(spec: NetSpec, level: int, backend: str = "numpy"):
     return cold, warm, hit
 
 
+def _check_quant(spec: NetSpec, level: int, tol: dict,
+                 checks: List[str], out: List[Mismatch]) -> None:
+    """Reduced-precision inference gates (docs/QUANTIZATION.md).
+
+    fp16 must land inside its dedicated numeric tier against the fp32
+    inference reference; int8 (calibrated on the spec's own inputs) is
+    gated on max-abs-error as a fraction of the fp32 output's value
+    range and on top-1 agreement over confidently-classified rows —
+    rows whose fp32 top-1 margin is inside the int8 error budget can
+    legitimately flip, so they are excluded rather than papered over
+    with a loose agreement fraction. Each quantized path is rebuilt
+    and rerun once to pin run-to-run bitwise determinism, and the int8
+    program is frozen/thawed through a throwaway compile cache: the
+    warm thaw must reproduce the cold compile's exact bits.
+    """
+    _, ref_out = run_eval_forward(spec, level, "inference")
+    ref64 = ref_out.astype(np.float64)
+    ref_range = float(ref64.max() - ref64.min())
+    scale = max(ref_range, 1e-3)
+
+    # -- fp16: numeric tier + bitwise run-to-run -------------------------
+    check = "quant:fp16"
+    checks.append(check)
+    loss16, out16 = run_quant_forward(spec, level, "fp16")
+    _compare_arrays(check, "output", out16.astype(np.float32), ref_out,
+                    tol["quant_fp16_rtol"], tol["quant_fp16_atol"], out)
+    check = "quant:fp16-repro"
+    checks.append(check)
+    loss16b, out16b = run_quant_forward(spec, level, "fp16")
+    if loss16b != loss16:
+        out.append(Mismatch(check, f"loss not reproducible: "
+                                   f"{loss16b!r} != {loss16!r}"))
+    _compare_arrays(check, "output", out16b, out16, 0, 0, out,
+                    bitwise=True)
+
+    # -- int8: calibrated accuracy gates + bitwise run-to-run ------------
+    calibration = calibrate_spec(spec, level)
+    check = "quant:int8"
+    checks.append(check)
+    loss8, out8 = run_quant_forward(spec, level, "int8", calibration)
+    got64 = out8.astype(np.float64)
+    if not np.isfinite(got64).all():
+        out.append(Mismatch(check, "output: non-finite values"))
+        return
+    err = float(np.abs(got64 - ref64).max())
+    bound = tol["quant_int8_range_frac"] * scale
+    if err > bound:
+        out.append(Mismatch(
+            check,
+            f"output: max|Δ|={err:.3g} > {bound:.3g} "
+            f"({tol['quant_int8_range_frac']:g} × fp32 output range "
+            f"{ref_range:.3g})"))
+    flat_ref = ref64.reshape(-1, ref64.shape[-1])
+    flat_got = got64.reshape(-1, got64.shape[-1])
+    if flat_ref.shape[-1] > 1:
+        top = np.sort(flat_ref, axis=1)
+        margin = top[:, -1] - top[:, -2]
+        confident = margin > tol["quant_int8_top1_margin_frac"] * scale
+        agree = np.argmax(flat_got, axis=1) == np.argmax(flat_ref, axis=1)
+        flipped = int((confident & ~agree).sum())
+        if flipped:
+            out.append(Mismatch(
+                check,
+                f"top-1 disagrees on {flipped}/{int(confident.sum())} "
+                f"confident rows (fp32 margin > "
+                f"{tol['quant_int8_top1_margin_frac']:g} × range)"))
+    check = "quant:int8-repro"
+    checks.append(check)
+    loss8b, out8b = run_quant_forward(spec, level, "int8", calibration)
+    if loss8b != loss8:
+        out.append(Mismatch(check, f"loss not reproducible: "
+                                   f"{loss8b!r} != {loss8!r}"))
+    _compare_arrays(check, "output", out8b, out8, 0, 0, out, bitwise=True)
+
+    # -- int8 freeze/thaw through the compile cache ----------------------
+    import tempfile
+
+    from repro.cache import CompileCache, compile_cached
+
+    def one(store):
+        seed_all(spec.seed)
+        net = build_net(spec)
+        opts = CompilerOptions.inference(level, precision="int8")
+        opts.min_tile_rows = 2
+        cnet = compile_cached(spec, net=net, options=opts, cache=store,
+                              calibration=calibration)
+        x, y = make_inputs(spec)
+        loss = cnet.forward(data=x, label=y)
+        return float(loss), cnet.value("head").copy(), \
+            cnet.compile_report.cache_hit
+
+    check = "quant:cache"
+    checks.append(check)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CompileCache(tmp)
+        cold_loss, cold_out, _ = one(store)
+        warm_loss, warm_out, warm_hit = one(store)
+    if not warm_hit:
+        out.append(Mismatch(
+            check, "second compile_cached did not hit the cache"))
+        return
+    if warm_loss != cold_loss:
+        out.append(Mismatch(check, f"thawed loss not bitwise: "
+                                   f"{warm_loss!r} != {cold_loss!r}"))
+    _compare_arrays(check, "output", warm_out, cold_out, 0, 0, out,
+                    bitwise=True)
+
+
 def _baseline_config(spec: NetSpec):
     """Map a baseline-compatible spec onto a shared ModelConfig (layer
     names matching :func:`build_net`'s), or None if out of vocabulary."""
@@ -399,6 +565,7 @@ def check_spec(
     baselines: bool = True,
     dtype: str = "float32",
     cbackend: Optional[bool] = None,
+    quant: bool = True,
 ) -> OracleReport:
     """Run every configured comparison on ``spec``.
 
@@ -411,7 +578,9 @@ def check_spec(
     pins the compiled C/OpenMP backend against both the O0 interpreter
     and the same-level NumPy backend (``None`` = run exactly when a
     working C toolchain is present, so corpus runs cover it wherever
-    they can and skip cleanly where they cannot).
+    they can and skip cleanly where they cannot); ``quant`` runs the
+    reduced-precision gates (fp16 tier, calibrated int8 accuracy,
+    bitwise determinism, int8 cache roundtrip — see :func:`_check_quant`).
     """
     tol = TOLERANCES[dtype]
     report = OracleReport(spec)
@@ -475,6 +644,13 @@ def check_spec(
             check, "second compile_cached did not hit the cache"))
     else:
         _compare_bitwise(check, warm, cold, report.mismatches)
+
+    # reduced-precision inference rides the same fuzz corpus: fp16 and
+    # calibrated int8 against the fp32 inference reference, each
+    # bitwise run-to-run, plus an int8 cache roundtrip
+    if quant:
+        _check_quant(spec, max(levels) if levels else 4, tol,
+                     report.checks, report.mismatches)
 
     # the C/OpenMP backend is an independent lowering of the same fused
     # schedule: its kernels accumulate in double and order contractions

@@ -150,7 +150,7 @@ class MemoryReport:
         slabs = []
         kept: Dict[str, str] = {}
         if mem is not None:
-            slabs = [(4 * s.offset, 4 * s.elems, list(s.members))
+            slabs = [(s.offset, s.nbytes, list(s.members))
                      for s in mem.slabs]
             kept = dict(mem.kept_reasons)
         return cls(stats["naive_bytes"], stats["planned_bytes"],

@@ -206,7 +206,7 @@ class TestArenaLayout:
             arr = cn.buffers[name]
             assert not arr.flags.owndata  # a view into the arena
         # distinct slabs occupy distinct byte ranges
-        spans = sorted((s.offset, s.offset + s.elems) for s in mem.slabs)
+        spans = sorted((s.offset, s.offset + s.nbytes) for s in mem.slabs)
         for (lo1, hi1), (lo2, _hi2) in zip(spans, spans[1:]):
             assert hi1 <= lo2
 

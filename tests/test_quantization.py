@@ -1,0 +1,386 @@
+"""Reduced-precision inference: the ``repro.quant`` subsystem.
+
+Covers the scale/zero-point arithmetic, the calibration recorder, the
+``precision`` compiler pass (fp16 retyping and int8 fake-quant plans),
+executor integration (int8 mirrors, per-forward weight quantization),
+the calibration-keyed compilation cache, and the serving surface
+(``Checkpoint.compile(precision=)``, ``ModelServer`` precision labels,
+``python -m repro.serve`` flag validation). The accuracy gates
+themselves live in the oracle (``quant:*`` checks, run over the pinned
+corpus by test_differential); this file tests the machinery.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.optim import CompilerOptions, compile_net
+from repro.quant import (
+    CalibrationError,
+    CalibrationResult,
+    QParams,
+    RangeObserver,
+    calibrate,
+    choose_qparams,
+    dequantize,
+    fake_quant,
+    quantize,
+)
+from repro.quant.qparams import weight_qparams
+from repro.testing.generator import build_net, make_inputs, random_spec
+from repro.testing.oracle import calibrate_spec, run_quant_forward
+from repro.utils.rng import seed_all
+
+# one fc-family and one conv-family spec keep the file fast while still
+# exercising padded buffers, pooling aliases, and extern loss closures
+FC_SEED = 7
+CONV_SEED = 11
+
+
+def _compile_spec(seed, precision="fp32", calibration=None, level=3):
+    spec = random_spec(seed)
+    seed_all(spec.seed)
+    net = build_net(spec)
+    opts = CompilerOptions.inference(level, precision=precision)
+    opts.min_tile_rows = 2
+    cnet = compile_net(net, opts, calibration=calibration)
+    return spec, cnet
+
+
+class TestQParams:
+    def test_affine_grid_covers_range_and_zero(self):
+        qp = choose_qparams(-0.7, 3.1)
+        assert not qp.symmetric
+        x = np.linspace(-0.7, 3.1, 257, dtype=np.float32)
+        back = dequantize(quantize(x, qp), qp)
+        assert np.abs(back - x).max() <= qp.scale / 2 + 1e-7
+        # 0.0 must be exactly representable (ReLU zeros, padding)
+        zero = dequantize(quantize(np.zeros(1, np.float32), qp), qp)
+        assert zero[0] == 0.0
+
+    def test_range_widened_to_include_zero(self):
+        qp = choose_qparams(2.0, 3.0)  # strictly positive observations
+        back = fake_quant(np.zeros(1, np.float32), qp)
+        assert back[0] == 0.0
+
+    def test_degenerate_range_falls_back(self):
+        assert choose_qparams(0.0, 0.0).scale == 1.0
+        assert choose_qparams(5.0, 5.0, symmetric=True).scale == 5.0 / 127
+
+    def test_symmetric_scheme(self):
+        qp = choose_qparams(-2.0, 1.0, symmetric=True)
+        assert qp.symmetric and qp.zero_point == 0
+        q = quantize(np.array([-2.0, 2.0], np.float32), qp)
+        assert q.dtype == np.int8
+        assert q.min() == -127 and q.max() == 127  # sign-balanced clip
+
+    def test_fake_quant_idempotent(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=100).astype(np.float32)
+        qp = choose_qparams(*(float(x.min()), float(x.max())))
+        once = fake_quant(x, qp)
+        assert np.array_equal(fake_quant(once, qp), once)
+
+    def test_weight_qparams(self):
+        w = np.array([[0.5, -1.5]], np.float32)
+        qp = weight_qparams(w)
+        assert qp.symmetric and qp.scale == pytest.approx(1.5 / 127)
+        assert weight_qparams(np.zeros((1, 1))).scale == 1.0
+
+    def test_dict_round_trip(self):
+        qp = QParams(scale=0.03, zero_point=-12, symmetric=False)
+        assert QParams.from_dict(qp.to_dict()) == qp
+
+
+class TestCalibration:
+    def test_observe_merges_ranges(self):
+        r = CalibrationResult()
+        r.observe("b", -1.0, 2.0)
+        r.observe("b", -0.5, 3.0)
+        assert r.range("b") == (-1.0, 3.0)
+        assert r.range("missing") is None
+
+    def test_digest_canonical_and_content_sensitive(self):
+        a = CalibrationResult({"x": (0.0, 1.0), "y": (-1.0, 1.0)}, 2)
+        b = CalibrationResult({"y": (-1.0, 1.0), "x": (0.0, 1.0)}, 2)
+        assert a.digest() == b.digest()  # insertion order is irrelevant
+        c = CalibrationResult({"x": (0.0, 1.5), "y": (-1.0, 1.0)}, 2)
+        assert a.digest() != c.digest()
+
+    def test_save_load_round_trip(self, tmp_path):
+        r = CalibrationResult({"x": (-0.25, 4.0)}, batches=3,
+                              percentile=0.999)
+        path = str(tmp_path / "calib.json")
+        r.save(path)
+        back = CalibrationResult.load(path)
+        assert back == r
+        assert back.digest() == r.digest()
+
+    def test_calibrate_records_inputs_and_activations(self):
+        spec = random_spec(FC_SEED)
+        seed_all(spec.seed)
+        net = build_net(spec)
+        x, y = make_inputs(spec)
+        opts = CompilerOptions.inference(3)
+        opts.min_tile_rows = 2
+        result = calibrate(net, [{"data": x, "label": y}], options=opts)
+        assert result.batches == 1
+        # set_input-fed buffers are only visible via observe_input
+        lo, hi = result.range("data_value")
+        assert lo == float(x.min()) and hi == float(x.max())
+        # at least one step-written activation was recorded
+        assert any(name.endswith("_value") and name != "data_value"
+                   for name in result.ranges)
+
+    def test_calibrate_overrides_precision_to_fp32(self):
+        spec = random_spec(FC_SEED)
+        seed_all(spec.seed)
+        net = build_net(spec)
+        x, y = make_inputs(spec)
+        # int8 options without calibration would raise in the compiler;
+        # calibrate() must force fp32 before compiling
+        result = calibrate(net, [{"data": x, "label": y}],
+                           options=CompilerOptions.inference(
+                               3, precision="int8"))
+        assert result.batches == 1
+
+    def test_calibrate_needs_a_batch(self):
+        spec = random_spec(FC_SEED)
+        seed_all(spec.seed)
+        net = build_net(spec)
+        with pytest.raises(CalibrationError):
+            calibrate(net, [])
+
+    def test_percentile_validation_and_clipping(self):
+        with pytest.raises(ValueError):
+            RangeObserver(percentile=0.3)
+        obs = RangeObserver(percentile=0.95)
+        arr = np.zeros(1000, np.float32)
+        arr[0], arr[1] = -100.0, 100.0  # two outliers
+        obs.observe_input("b", arr)
+        lo, hi = obs.result.range("b")
+        assert -100.0 < lo <= 0.0 and 0.0 <= hi < 100.0
+
+
+class TestPrecisionPass:
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            CompilerOptions(precision="fp8")
+        with pytest.raises(ValueError):
+            CompilerOptions(precision="fp16")  # mode defaults to train
+        with pytest.raises(ValueError):
+            CompilerOptions(mode="inference", precision="int8", backend="c")
+        # the supported spellings construct fine
+        CompilerOptions.inference(3, precision="fp16")
+        CompilerOptions.inference(3, precision="int8")
+
+    def test_fp16_retypes_and_records_fallbacks(self):
+        _, cnet = _compile_spec(FC_SEED, "fp16")
+        qp = cnet.plan.quant
+        assert qp.precision == "fp16"
+        assert qp.dtypes, "no buffer was retyped to float16"
+        # extern closures (the softmax loss) keep their buffers fp32
+        assert "extern-step" in set(qp.fallbacks.values())
+        for name in qp.dtypes:
+            assert cnet.plan.buffers[name].dtype == "float16"
+            assert cnet.buffers[name].dtype == np.float16
+        for name in qp.fallbacks:
+            assert cnet.plan.buffers[name].dtype == "float32"
+        # the pass is visible in the compile report with its counters
+        row = next(p for p in cnet.compile_report.records
+                   if p.name == "precision")
+        assert row.rewrites.get("buffers_fp16") == len(qp.dtypes)
+
+    def test_fp16_shrinks_planned_bytes(self):
+        _, ref = _compile_spec(CONV_SEED, "fp32")
+        _, half = _compile_spec(CONV_SEED, "fp16")
+        assert half.plan.memory is not None
+        assert half.plan.memory.arena_bytes < ref.plan.memory.arena_bytes
+
+    def test_fp16_close_to_fp32(self):
+        spec = random_spec(CONV_SEED)
+        loss32, out32 = run_quant_forward(spec, 3, "fp32")
+        loss16, out16 = run_quant_forward(spec, 3, "fp16")
+        assert out16.dtype == np.float32  # head feeds the extern loss
+        np.testing.assert_allclose(out16, out32, rtol=1e-2, atol=2e-3)
+        assert loss16 == pytest.approx(loss32, rel=1e-2)
+
+    def test_int8_requires_calibration(self):
+        with pytest.raises(CalibrationError, match="calibration"):
+            _compile_spec(FC_SEED, "int8")
+
+    def test_int8_plans_and_executor_mirrors(self):
+        spec = random_spec(CONV_SEED)
+        calibration = calibrate_spec(spec, 3)
+        # disable the arena planner: slab reuse overwrites pooled
+        # activations after their consumers run, which would invalidate
+        # the buffer-vs-mirror equality below (the mirror keeps the
+        # production-time value)
+        seed_all(spec.seed)
+        net = build_net(spec)
+        opts = CompilerOptions.inference(3, precision="int8")
+        opts.min_tile_rows = 2
+        opts.memory_plan = False
+        cnet = compile_net(net, opts, calibration=calibration)
+        qp = cnet.plan.quant
+        assert qp.precision == "int8"
+        assert qp.calibration_digest == calibration.digest()
+        assert qp.qparams and qp.weight_bufs
+        # the executor keeps true int8 mirror arrays for every
+        # quantized activation
+        assert set(cnet.qstorage) == {
+            n for n in qp.qparams if n in cnet.buffers
+        }
+        for arr in cnet.qstorage.values():
+            assert arr.dtype == np.int8
+        x, y = make_inputs(spec)
+        cnet.forward(data=x, label=y)
+        # weight fake-quant ran and recorded its per-tensor scales...
+        assert set(cnet.quant_weight_scales) == set(qp.weight_bufs)
+        # ...leaving every weight exactly on its int8 grid
+        for name in qp.weight_bufs:
+            w = cnet.buffers[name]
+            wq = weight_qparams(w)
+            assert np.array_equal(fake_quant(w, wq), w)
+        # quantized activations hold exactly what their mirrors decode to
+        for name, mirror in cnet.qstorage.items():
+            np.testing.assert_array_equal(
+                cnet.buffers[name], dequantize(mirror, qp.qparams[name]))
+
+    def test_int8_deterministic_across_forwards(self):
+        spec = random_spec(FC_SEED)
+        calibration = calibrate_spec(spec, 3)
+        _, cnet = _compile_spec(FC_SEED, "int8", calibration)
+        x, y = make_inputs(spec)
+        first = float(cnet.forward(data=x, label=y))
+        out_first = cnet.value("head").copy()
+        second = float(cnet.forward(data=x, label=y))
+        assert second == first
+        np.testing.assert_array_equal(cnet.value("head"), out_first)
+
+
+class TestQuantCache:
+    def test_key_includes_calibration_for_int8_only(self):
+        from repro.cache.key import cache_key
+
+        spec = random_spec(FC_SEED)
+        builder = {"kind": "net_spec", "spec": spec.to_dict()}
+        a = CalibrationResult({"x": (0.0, 1.0)}, 1)
+        b = CalibrationResult({"x": (0.0, 2.0)}, 1)
+        opts8 = CompilerOptions.inference(3, precision="int8")
+        k_a = cache_key(builder, spec.batch, opts8, 1, None, calibration=a)
+        k_b = cache_key(builder, spec.batch, opts8, 1, None, calibration=b)
+        assert k_a != k_b  # different ranges → different program
+        assert k_a == cache_key(builder, spec.batch, opts8, 1, None,
+                                calibration=a.digest())  # digest spelling
+        opts32 = CompilerOptions.inference(3)
+        assert cache_key(builder, spec.batch, opts32, 1, None,
+                         calibration=a) == \
+            cache_key(builder, spec.batch, opts32, 1, None)
+
+    def test_int8_roundtrip_restores_quant_plan(self, tmp_path):
+        from repro.cache import CompileCache, compile_cached
+
+        spec = random_spec(FC_SEED)
+        calibration = calibrate_spec(spec, 3)
+        store = CompileCache(str(tmp_path))
+
+        def boot():
+            seed_all(spec.seed)
+            net = build_net(spec)
+            opts = CompilerOptions.inference(3, precision="int8")
+            opts.min_tile_rows = 2
+            return compile_cached(spec, net=net, options=opts, cache=store,
+                                  calibration=calibration)
+
+        cold = boot()
+        warm = boot()
+        assert not cold.compile_report.cache_hit
+        assert warm.compile_report.cache_hit
+        assert warm.plan.quant is not None
+        assert warm.plan.quant.to_dict() == cold.plan.quant.to_dict()
+        x, y = make_inputs(spec)
+        assert float(warm.forward(data=x, label=y)) == \
+            float(cold.forward(data=x, label=y))
+        np.testing.assert_array_equal(warm.value("head"),
+                                      cold.value("head"))
+
+
+class TestServing:
+    def _checkpoint(self, tmp_path, spec):
+        from repro.serve.checkpoint import save_checkpoint
+
+        seed_all(spec.seed)
+        net = build_net(spec)
+        opts = CompilerOptions.inference(3)
+        opts.min_tile_rows = 2
+        cnet = compile_net(net, opts)
+        path = str(tmp_path / "model.npz")
+        save_checkpoint(path, cnet, spec=spec, output="head")
+        return path
+
+    def test_from_checkpoint_precision_labels(self, tmp_path):
+        from repro.serve.server import ModelServer
+
+        spec = random_spec(FC_SEED)
+        path = self._checkpoint(tmp_path, spec)
+        calibration = calibrate_spec(spec, 3)
+        calib_path = str(tmp_path / "calib.json")
+        calibration.save(calib_path)
+        x, _ = make_inputs(spec)
+        ref = None
+        for precision, calib in (("fp32", None), ("fp16", None),
+                                 ("int8", calib_path)):
+            with ModelServer.from_checkpoint(
+                    path, batch_size=spec.batch, precision=precision,
+                    calibration=calib) as server:
+                out = server.predict(x[0])
+                stats = server.stats()
+                assert stats["precision"] == precision
+                assert stats["served"] == 1
+                page = server.metrics_text()
+                assert f'precision="{precision}"' in page
+            if ref is None:
+                ref = out
+            else:
+                assert np.argmax(out) == np.argmax(ref)
+
+    def test_serve_main_validates_flags(self, tmp_path):
+        from repro.serve.__main__ import main
+
+        ckpt = str(tmp_path / "model.npz")  # never reached by ap.error
+        cases = [
+            ["--checkpoint", ckpt, "--precision", "fp8"],
+            ["--checkpoint", ckpt, "--precision", "int8"],  # no --calibration
+            ["--checkpoint", ckpt, "--precision", "int8",
+             "--calibration", str(tmp_path / "missing.json")],
+            ["--checkpoint", ckpt, "--workers", "-1"],
+            ["--checkpoint", ckpt, "--replicas", "0"],
+            ["--checkpoint", ckpt, "--batch-size", "0"],
+        ]
+        for argv in cases:
+            with pytest.raises(SystemExit) as exc:
+                main(argv)
+            assert exc.value.code == 2, argv
+
+    def test_cache_ls_shows_precision(self, tmp_path, capsys):
+        from repro.cache import CompileCache, compile_cached
+        from repro.cache.__main__ import main as cache_main
+
+        spec = random_spec(FC_SEED)
+        store_dir = str(tmp_path / "cache")
+        store = CompileCache(store_dir)
+        seed_all(spec.seed)
+        net = build_net(spec)
+        opts = CompilerOptions.inference(3, precision="fp16")
+        opts.min_tile_rows = 2
+        compile_cached(spec, net=net, options=opts, cache=store)
+        assert cache_main(["--cache-dir", store_dir, "ls"]) == 0
+        table = capsys.readouterr().out
+        assert "fp16" in table and "numpy" in table
+        assert cache_main(["--cache-dir", store_dir, "ls", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"][0]["precision"] == "fp16"
+        assert payload["entries"][0]["backend"] == "numpy"
